@@ -1,0 +1,83 @@
+"""E1 — Theorem 1 (upper bound): measured ratios never exceed the guarantee.
+
+Paper claim: for every ΔI ≥ 2, ΔK ≥ 2 and R ≥ 2 the algorithm is feasible
+and within ``ΔI (1 − 1/ΔK)(1 + 1/(R − 1))`` of the optimum.  This benchmark
+runs the full pipeline over the mixed instance family, reports per-family
+worst measured ratios against the guarantee, and times one representative
+solve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algo.general_solver import LocalMaxMinSolver
+from repro.analysis import run_ratio_sweep, worst_case_by
+
+from _harness import emit_table, standard_general_family, standard_special_form_family
+
+
+R_VALUES = (2, 3, 4)
+
+
+def _sweep_rows():
+    families = {}
+    families.update(standard_special_form_family())
+    families.update(standard_general_family())
+    instances = list(families.values())
+    labels = {inst.name: label for label, inst in families.items()}
+    rows = run_ratio_sweep(
+        instances,
+        R_values=R_VALUES,
+        include_safe=False,
+        extra_fields={"family": lambda inst: labels[inst.name]},
+    )
+    return rows
+
+
+def test_e1_theorem1_upper_bound(benchmark):
+    rows = _sweep_rows()
+
+    summary = worst_case_by(rows, keys=("algorithm",))
+    emit_table(
+        "E1",
+        "Theorem 1 upper bound: worst measured ratio vs. guarantee",
+        summary,
+        columns=[
+            "algorithm",
+            "count",
+            "worst_measured_ratio",
+            "mean_measured_ratio",
+            "max_guaranteed_ratio",
+            "within_guarantee",
+        ],
+        notes=(
+            "Every instance of the mixed family (special-form and general), "
+            "solved by the local algorithm for R in "
+            f"{list(R_VALUES)}; the guarantee is ΔI(1−1/ΔK)(1+1/(R−1))."
+        ),
+    )
+
+    per_family = worst_case_by(rows, keys=("family", "algorithm"))
+    emit_table(
+        "E1-detail",
+        "Theorem 1 upper bound: per-family worst measured ratio",
+        per_family,
+        columns=[
+            "family",
+            "algorithm",
+            "worst_measured_ratio",
+            "max_guaranteed_ratio",
+            "within_guarantee",
+        ],
+    )
+
+    # Shape assertions: feasible everywhere, guarantee never violated.
+    assert all(row["feasible"] for row in rows)
+    assert all(row["within_guarantee"] for row in rows)
+
+    # Timed kernel: one representative end-to-end solve (R = 3).
+    instance = standard_general_family()["random-dI3-dK3"]
+    solver = LocalMaxMinSolver(R=3)
+    result = benchmark.pedantic(solver.solve, args=(instance,), rounds=3, iterations=1)
+    assert result.solution.is_feasible()

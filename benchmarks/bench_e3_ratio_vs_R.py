@@ -1,0 +1,86 @@
+"""E3 — The ratio-vs-R trade-off (§6.3 formula).
+
+Paper claim: the guarantee is ``ΔI (1 − 1/ΔK)(1 + 1/(R − 1))`` with local
+horizon Θ(R); as R grows the guarantee approaches the optimal threshold
+``ΔI (1 − 1/ΔK)``.  This benchmark sweeps R on the adversarial ring family
+(where the measured ratio actually tracks the threshold) and on a random
+family (where the measured ratio is far below the guarantee), reporting both
+series and the horizon cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algo.general_solver import LocalMaxMinSolver, theorem1_ratio
+from repro.core.lp import solve_maxmin_lp
+from repro.distributed.agents import PhaseSchedule
+from repro.generators import objective_ring_instance, random_special_form_instance
+
+from _harness import emit_table
+
+R_VALUES = (2, 3, 4, 5, 6)
+
+
+def _rows():
+    instances = {
+        "ring-K3": objective_ring_instance(6, 3),
+        "sf-random-20": random_special_form_instance(20, delta_K=3, constraint_rounds=2, seed=5),
+    }
+    rows = []
+    for label, instance in instances.items():
+        optimum = solve_maxmin_lp(instance).optimum
+        threshold = instance.delta_I * (1 - 1 / instance.delta_K)
+        for R in R_VALUES:
+            result = LocalMaxMinSolver(R=R).solve(instance)
+            rows.append(
+                {
+                    "family": label,
+                    "R": R,
+                    "local_horizon_rounds": PhaseSchedule(R).total_rounds,
+                    "utility": result.utility(),
+                    "optimum": optimum,
+                    "measured_ratio": optimum / result.utility(),
+                    "guaranteed_ratio": result.certificate.guaranteed_ratio,
+                    "threshold": threshold,
+                }
+            )
+    return rows
+
+
+def test_e3_ratio_vs_R(benchmark):
+    rows = _rows()
+    emit_table(
+        "E3",
+        "Approximation ratio and local horizon as a function of R",
+        rows,
+        columns=[
+            "family",
+            "R",
+            "local_horizon_rounds",
+            "utility",
+            "optimum",
+            "measured_ratio",
+            "guaranteed_ratio",
+            "threshold",
+        ],
+        notes="guaranteed_ratio = ΔI(1−1/ΔK)(1+1/(R−1)); threshold = ΔI(1−1/ΔK).",
+    )
+
+    # Shape assertions: guarantees decrease towards (but stay above) the
+    # threshold, measurements never exceed guarantees, horizon grows linearly.
+    for label in {row["family"] for row in rows}:
+        series = sorted((r for r in rows if r["family"] == label), key=lambda r: r["R"])
+        guarantees = [r["guaranteed_ratio"] for r in series]
+        assert guarantees == sorted(guarantees, reverse=True)
+        assert all(g > r["threshold"] for g, r in zip(guarantees, series))
+        assert all(r["measured_ratio"] <= r["guaranteed_ratio"] + 1e-7 for r in series)
+        horizons = [r["local_horizon_rounds"] for r in series]
+        assert all(b - a == 12 for a, b in zip(horizons, horizons[1:]))
+
+    # The closed-form guarantee converges to the threshold.
+    assert theorem1_ratio(2, 3, 200) == pytest.approx(2 * (1 - 1 / 3), rel=0.01)
+
+    instance = objective_ring_instance(6, 3)
+    solver = LocalMaxMinSolver(R=4)
+    benchmark.pedantic(solver.solve, args=(instance,), rounds=3, iterations=1)

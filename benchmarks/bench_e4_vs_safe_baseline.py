@@ -1,0 +1,90 @@
+"""E4 — Comparison with the prior-work safe algorithm (factor ΔI).
+
+Paper claim (§1.3): the best previously known local algorithm for general
+max-min LPs is the safe algorithm with factor ΔI; the contribution is an
+algorithm with factor ``ΔI (1 − 1/ΔK) + ε``.  This benchmark compares the
+two on (a) the adversarial objective-ring family, where the safe algorithm's
+measured ratio is exactly ``2 (1 − 1/ΔK)`` and grows with ΔK, and (b) random
+families, and contrasts worst-case guarantees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algo.general_solver import LocalMaxMinSolver
+from repro.algo.safe_algorithm import SafeAlgorithm
+from repro.core.lp import solve_maxmin_lp
+from repro.generators import objective_ring_instance, random_instance
+
+from _harness import emit_table
+
+
+def _rows(R: int = 6):
+    rows = []
+    instances = {}
+    for delta_K in (2, 3, 4, 5):
+        instances[f"ring-K{delta_K}"] = objective_ring_instance(5, delta_K)
+    for seed in (1, 2):
+        instances[f"random-dI3-dK3-s{seed}"] = random_instance(
+            20, delta_I=3, delta_K=3, extra_constraints=3, extra_objectives=3, seed=seed
+        )
+
+    local = LocalMaxMinSolver(R=R)
+    safe = SafeAlgorithm()
+    for label, instance in instances.items():
+        optimum = solve_maxmin_lp(instance).optimum
+        local_result = local.solve(instance)
+        safe_solution, safe_cert = safe.solve_with_certificate(instance)
+        rows.append(
+            {
+                "family": label,
+                "delta_I": instance.delta_I,
+                "delta_K": instance.delta_K,
+                "optimum": optimum,
+                "local_ratio": optimum / local_result.utility(),
+                "local_guarantee": local_result.certificate.guaranteed_ratio,
+                "safe_ratio": optimum / safe_solution.utility(),
+                "safe_guarantee": safe_cert.guaranteed_ratio,
+            }
+        )
+    return rows
+
+
+def test_e4_vs_safe_baseline(benchmark):
+    R = 6
+    rows = _rows(R)
+    emit_table(
+        "E4",
+        f"Local algorithm (R={R}) versus the safe baseline",
+        rows,
+        columns=[
+            "family",
+            "delta_I",
+            "delta_K",
+            "optimum",
+            "local_ratio",
+            "local_guarantee",
+            "safe_ratio",
+            "safe_guarantee",
+        ],
+        notes=(
+            "On the ring family the safe algorithm's measured ratio is exactly 2(1−1/ΔK) "
+            "and approaches ΔI = 2 as ΔK grows, while the local algorithm's guarantee stays "
+            "below ΔI — the separation Theorem 1 formalises."
+        ),
+    )
+
+    ring_rows = [row for row in rows if str(row["family"]).startswith("ring-")]
+    for row in ring_rows:
+        expected_gap = 2 * (1 - 1 / row["delta_K"])
+        assert row["safe_ratio"] == pytest.approx(expected_gap, rel=1e-6)
+        # The new algorithm's guarantee beats the safe guarantee ΔI on every ring.
+        assert row["local_guarantee"] < row["safe_guarantee"]
+        assert row["local_ratio"] <= row["local_guarantee"] + 1e-7
+    # The safe measured ratio grows with ΔK (approaching ΔI = 2).
+    gaps = [row["safe_ratio"] for row in sorted(ring_rows, key=lambda r: r["delta_K"])]
+    assert gaps == sorted(gaps)
+
+    instance = objective_ring_instance(5, 4)
+    benchmark.pedantic(SafeAlgorithm().solve, args=(instance,), rounds=5, iterations=1)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Fair bandwidth allocation over candidate paths (paper §1 motivation).
+
+Customers route traffic over a small capacitated network; the operator wants
+to maximise the minimum bandwidth any customer receives.  The script builds
+a random topology, enumerates two candidate paths per customer, solves the
+resulting max-min LP and prints the per-customer allocation.
+
+Run with:  python examples/bandwidth_allocation.py
+"""
+
+from repro import LocalMaxMinSolver, solve_maxmin_lp
+from repro.analysis import format_table
+from repro.generators import bandwidth_allocation_instance
+
+
+def main() -> None:
+    workload = bandwidth_allocation_instance(
+        num_nodes=14, num_customers=7, paths_per_customer=2, extra_edges=8, seed=21
+    )
+    instance = workload.instance
+    print(f"network: {workload.graph.number_of_nodes()} routers, "
+          f"{workload.graph.number_of_edges()} links")
+    print(f"max-min LP: {instance!r}\n")
+
+    local = LocalMaxMinSolver(R=3).solve(instance)
+    optimum = solve_maxmin_lp(instance).optimum
+
+    rows = []
+    for customer_index, (src, dst) in enumerate(workload.customers):
+        objective = f"cust{customer_index}"
+        total = local.solution.objective_value(objective)
+        per_path = []
+        for path_index, path in enumerate(workload.paths[customer_index]):
+            agent = workload.agent_name(customer_index, path_index)
+            per_path.append(f"{'-'.join(map(str, path))}: {local.solution[agent]:.3f}")
+        rows.append(
+            {
+                "customer": f"{src} -> {dst}",
+                "bandwidth": total,
+                "paths (flow per path)": "; ".join(per_path),
+            }
+        )
+    print(format_table(rows, title="fair bandwidth allocation (local algorithm, R=3)"))
+
+    print(f"\nminimum bandwidth (local) : {local.utility():.4f}")
+    print(f"minimum bandwidth (optimum): {optimum:.4f}")
+    print(f"guaranteed ratio           : {local.certificate.guaranteed_ratio:.4f}")
+    report = local.solution.check_feasibility()
+    print(f"all link capacities respected: {report.feasible}")
+
+
+if __name__ == "__main__":
+    main()

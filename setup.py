@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file only
+exists so that editable installs keep working in fully offline environments
+whose setuptools lacks the ``wheel`` package required by PEP 660 editable
+builds (``pip install -e . --no-build-isolation`` falls back to the legacy
+``setup.py develop`` code path when this file is present).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,80 @@
+"""Shared type aliases and enumerations used across :mod:`repro`.
+
+The paper distinguishes three kinds of nodes in the communication graph
+``G = (V ∪ I ∪ K, E)``:
+
+* *agents* ``v ∈ V`` — one per LP variable ``x_v``;
+* *constraints* ``i ∈ I`` — one per packing constraint ``Σ a_iv x_v ≤ 1``;
+* *objectives* ``k ∈ K`` — one per covering objective ``Σ c_kv x_v ≥ ω``.
+
+Node identifiers can be any hashable value; the library never assumes they
+are integers or strings.  Where a single namespace is required (for example
+when building a :mod:`networkx` communication graph) nodes are wrapped in a
+``(NodeType, id)`` pair so that an agent named ``"a"`` and a constraint named
+``"a"`` never collide.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Hashable, Tuple
+
+__all__ = [
+    "NodeType",
+    "NodeId",
+    "GraphNode",
+    "CoefficientMap",
+    "ValueMap",
+    "EPSILON",
+    "DEFAULT_FEASIBILITY_TOL",
+]
+
+#: Generic node identifier (agent, constraint or objective name).
+NodeId = Hashable
+
+#: A node of the communication graph in a single namespace.
+GraphNode = Tuple["NodeType", NodeId]
+
+#: Sparse coefficient storage: ``(row_id, agent_id) -> coefficient``.
+CoefficientMap = Dict[Tuple[NodeId, NodeId], float]
+
+#: Assignment of values to agents: ``agent_id -> x_v``.
+ValueMap = Dict[NodeId, float]
+
+#: Generic small number used when strict positivity must be enforced.
+EPSILON = 1e-12
+
+#: Default tolerance used when checking feasibility of floating-point
+#: solutions (constraints are allowed to be violated by at most this amount).
+DEFAULT_FEASIBILITY_TOL = 1e-9
+
+
+class NodeType(enum.Enum):
+    """Role of a node in the bipartite communication graph."""
+
+    AGENT = "agent"
+    CONSTRAINT = "constraint"
+    OBJECTIVE = "objective"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NodeType.{self.name}"
+
+    @property
+    def short(self) -> str:
+        """One-letter tag used in compact textual dumps (``V``/``I``/``K``)."""
+        return {"agent": "V", "constraint": "I", "objective": "K"}[self.value]
+
+
+def agent_node(v: NodeId) -> GraphNode:
+    """Wrap an agent identifier into the shared graph namespace."""
+    return (NodeType.AGENT, v)
+
+
+def constraint_node(i: NodeId) -> GraphNode:
+    """Wrap a constraint identifier into the shared graph namespace."""
+    return (NodeType.CONSTRAINT, i)
+
+
+def objective_node(k: NodeId) -> GraphNode:
+    """Wrap an objective identifier into the shared graph namespace."""
+    return (NodeType.OBJECTIVE, k)

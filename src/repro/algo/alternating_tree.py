@@ -1,0 +1,297 @@
+"""Alternating trees ``A_u`` (paper §5.1) and the unfolding they live in.
+
+In the port-numbering model a local algorithm cannot distinguish a short
+cycle from an infinitely long path, so the paper assumes the communication
+graph is the *unfolding* of a finite graph (a possibly infinite tree, §3).
+Nodes of the unfolding are non-backtracking walks of the finite graph; the
+alternating tree ``A_u`` of an agent ``u`` is the finite subtree induced by
+the *alternating* walks that start at ``u`` and either
+
+* traverse the unique objective ``k(u)`` and have length at most ``4r + 3``,
+  or
+* have length at most 1 (``u`` itself, its adjacent constraints, ``k(u)``).
+
+A walk is alternating when between any two constraint nodes there is an
+objective node and vice versa; together with the special-form structure
+(``|K_v| = 1``, ``|V_i| = 2``) this forces the layered shape of paper
+Figure 1: objectives at levels ``≡ 0 (mod 4)``, constraints at ``≡ 2``,
+agents at odd levels, with leaf constraints at levels ``−2`` and ``4r + 2``.
+
+This module constructs ``A_u`` directly on the *finite* instance by
+enumerating bounded-length non-backtracking alternating walks — each walk is
+its own tree node, so an agent of the finite graph may (correctly) appear
+several times in ``A_u`` when the graph has cycles shorter than the local
+horizon.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .._types import NodeId, NodeType
+from ..core.instance import MaxMinInstance
+from ..core.validation import require_special_form
+from ..exceptions import InvalidInstanceError
+
+__all__ = ["TreeNode", "AlternatingTree", "build_alternating_tree"]
+
+
+class TreeNode:
+    """A node of an alternating tree.
+
+    Attributes
+    ----------
+    index:
+        Position in :attr:`AlternatingTree.nodes` (unique within the tree).
+    kind:
+        :class:`NodeType` of the node.
+    name:
+        The identifier of the corresponding node in the finite instance
+        (the *parent node* of the walk in the unfolding terminology).
+    level:
+        Distance to ``k(u)`` with the two special cases of the paper:
+        the root agent ``u`` has level ``−1`` and its adjacent constraints
+        have level ``−2``.
+    parent:
+        Parent tree node (``None`` for the root agent ``u``).
+    children:
+        Child tree nodes.
+    """
+
+    __slots__ = ("index", "kind", "name", "level", "parent", "children")
+
+    def __init__(
+        self,
+        index: int,
+        kind: NodeType,
+        name: NodeId,
+        level: int,
+        parent: Optional["TreeNode"],
+    ) -> None:
+        self.index = index
+        self.kind = kind
+        self.name = name
+        self.level = level
+        self.parent = parent
+        self.children: List[TreeNode] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TreeNode(#{self.index}, {self.kind.short}:{self.name!r}, level={self.level})"
+
+
+class AlternatingTree:
+    """The alternating tree ``A_u`` of an agent ``u`` (paper §5.1)."""
+
+    __slots__ = ("instance", "root_agent", "r", "root", "nodes", "_by_level")
+
+    def __init__(self, instance: MaxMinInstance, root_agent: NodeId, r: int) -> None:
+        self.instance = instance
+        self.root_agent = root_agent
+        self.r = r
+        self.nodes: List[TreeNode] = []
+        self._by_level: Dict[int, List[TreeNode]] = {}
+        self.root: TreeNode = self._new_node(NodeType.AGENT, root_agent, level=-1, parent=None)
+
+    # ------------------------------------------------------------------
+    # Construction helpers (used by build_alternating_tree)
+    # ------------------------------------------------------------------
+    def _new_node(
+        self, kind: NodeType, name: NodeId, level: int, parent: Optional[TreeNode]
+    ) -> TreeNode:
+        node = TreeNode(len(self.nodes), kind, name, level, parent)
+        self.nodes.append(node)
+        self._by_level.setdefault(level, []).append(node)
+        if parent is not None:
+            parent.children.append(node)
+        return node
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def max_level(self) -> int:
+        """The deepest possible level, ``4r + 2`` (leaf constraints)."""
+        return 4 * self.r + 2
+
+    @property
+    def levels(self) -> Tuple[int, ...]:
+        """Sorted tuple of levels that actually contain nodes."""
+        return tuple(sorted(self._by_level))
+
+    def nodes_at_level(self, level: int) -> Tuple[TreeNode, ...]:
+        """All tree nodes at the given level (``L(u, ℓ)`` in the paper)."""
+        return tuple(self._by_level.get(level, ()))
+
+    def agent_nodes(self) -> Iterator[TreeNode]:
+        return (n for n in self.nodes if n.kind is NodeType.AGENT)
+
+    def constraint_nodes(self) -> Iterator[TreeNode]:
+        return (n for n in self.nodes if n.kind is NodeType.CONSTRAINT)
+
+    def objective_nodes(self) -> Iterator[TreeNode]:
+        return (n for n in self.nodes if n.kind is NodeType.OBJECTIVE)
+
+    def size(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Structural checks (Lemma 1)
+    # ------------------------------------------------------------------
+    def check_structure(self) -> List[str]:
+        """Verify the structural claims of Lemma 1; return a list of violations."""
+        problems: List[str] = []
+        for node in self.nodes:
+            if node.kind is NodeType.OBJECTIVE and node.level % 4 != 0:
+                problems.append(f"objective {node!r} not at level 0 (mod 4)")
+            if node.kind is NodeType.CONSTRAINT and node.level not in (-2,) and node.level % 4 != 2:
+                problems.append(f"constraint {node!r} not at level 2 (mod 4)")
+            if node.kind is NodeType.AGENT and node.level % 2 == 0:
+                problems.append(f"agent {node!r} at an even level")
+            if not node.children and node.kind is not NodeType.CONSTRAINT:
+                problems.append(f"leaf {node!r} is not a constraint")
+            if not node.children and node.kind is NodeType.CONSTRAINT and node.level not in (-2, self.max_level):
+                problems.append(f"constraint leaf {node!r} at unexpected level {node.level}")
+        # Every objective node must carry *all* agents adjacent to it in G.
+        for node in self.objective_nodes():
+            members = set(self.instance.agents_of_objective(node.name))
+            present = {node.parent.name} if node.parent is not None else set()
+            present.update(child.name for child in node.children)
+            if present != members:
+                problems.append(
+                    f"objective {node!r} carries agents {sorted(map(repr, present))} "
+                    f"but V_k = {sorted(map(repr, members))}"
+                )
+        return problems
+
+    # ------------------------------------------------------------------
+    # Conversion to a standalone max-min LP (for Lemma 3 / exact optimum)
+    # ------------------------------------------------------------------
+    def as_instance(self, name: Optional[str] = None) -> MaxMinInstance:
+        """Return the max-min LP associated with ``A_u`` by restriction.
+
+        Tree nodes become nodes of a fresh instance (identified by their
+        ``index``); coefficients are inherited from the finite instance
+        through the walk's end-node, exactly as in the unfolding (§3,
+        remark 5).  Leaf constraints keep their single incident agent, i.e.
+        they are the *relaxed* constraints of Lemma 2.
+        """
+        agents: List[int] = []
+        constraints: List[int] = []
+        objectives: List[int] = []
+        a: Dict[Tuple[int, int], float] = {}
+        c: Dict[Tuple[int, int], float] = {}
+
+        for node in self.nodes:
+            if node.kind is NodeType.AGENT:
+                agents.append(node.index)
+            elif node.kind is NodeType.CONSTRAINT:
+                constraints.append(node.index)
+            else:
+                objectives.append(node.index)
+
+        for node in self.nodes:
+            parent = node.parent
+            if parent is None:
+                continue
+            agent_node, other = (node, parent) if node.kind is NodeType.AGENT else (parent, node)
+            if agent_node.kind is not NodeType.AGENT:
+                raise InvalidInstanceError("alternating tree edge between two non-agent nodes")
+            if other.kind is NodeType.CONSTRAINT:
+                a[(other.index, agent_node.index)] = self.instance.a(other.name, agent_node.name)
+            else:
+                c[(other.index, agent_node.index)] = self.instance.c(other.name, agent_node.name)
+
+        return MaxMinInstance(
+            agents=agents,
+            constraints=constraints,
+            objectives=objectives,
+            a=a,
+            c=c,
+            name=name or f"A_u({self.root_agent!r}, r={self.r})",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AlternatingTree(root={self.root_agent!r}, r={self.r}, nodes={len(self.nodes)}, "
+            f"levels={self.levels[0]}..{self.levels[-1]})"
+        )
+
+
+def build_alternating_tree(
+    instance: MaxMinInstance,
+    u: NodeId,
+    r: int,
+    *,
+    validate: bool = True,
+) -> AlternatingTree:
+    """Construct the alternating tree ``A_u`` for agent ``u`` with parameter ``r``.
+
+    Parameters
+    ----------
+    instance:
+        A special-form instance (``|V_i| = 2``, ``|K_v| = 1`` …).
+    u:
+        The root agent.
+    r:
+        The recursion depth parameter ``r = R − 2 ≥ 0``.
+    validate:
+        If true, check the special-form preconditions first (cheap relative
+        to tree construction; disable in tight loops that already validated).
+    """
+    if r < 0:
+        raise InvalidInstanceError(f"alternating tree parameter r must be >= 0, got {r}")
+    if validate:
+        require_special_form(instance)
+    if not instance.has_agent(u):
+        raise InvalidInstanceError(f"unknown agent {u!r}")
+
+    tree = AlternatingTree(instance, u, r)
+    root = tree.root
+    max_level = tree.max_level
+
+    # Length-1 walks: the constraints adjacent to u (level −2 leaves) ...
+    for i in instance.constraints_of_agent(u):
+        tree._new_node(NodeType.CONSTRAINT, i, level=-2, parent=root)
+
+    # ... and the unique objective k(u) at level 0, from which the alternating
+    # expansion proceeds.
+    k_u = instance.unique_objective(u)
+    objective_root = tree._new_node(NodeType.OBJECTIVE, k_u, level=0, parent=root)
+
+    # Breadth-first expansion of alternating non-backtracking walks.  The
+    # stack holds (tree_node, came_from_name) pairs where came_from_name is
+    # the instance-level node we arrived from (to forbid backtracking).
+    frontier: List[Tuple[TreeNode, NodeId]] = [(objective_root, u)]
+    while frontier:
+        next_frontier: List[Tuple[TreeNode, NodeId]] = []
+        for node, came_from in frontier:
+            level = node.level
+            if level >= max_level:
+                continue
+            if node.kind is NodeType.OBJECTIVE:
+                # Children: all other agents of the objective (level ≡ 1 mod 4).
+                for w in instance.agents_of_objective(node.name):
+                    if w == came_from:
+                        continue
+                    child = tree._new_node(NodeType.AGENT, w, level + 1, node)
+                    next_frontier.append((child, node.name))
+            elif node.kind is NodeType.AGENT:
+                if level % 4 == 1:
+                    # Arrived from an objective; alternation demands constraints next.
+                    for i in instance.constraints_of_agent(node.name):
+                        child = tree._new_node(NodeType.CONSTRAINT, i, level + 1, node)
+                        next_frontier.append((child, node.name))
+                else:
+                    # Arrived from a constraint (level ≡ 3 mod 4); next is the
+                    # unique objective of the agent.
+                    k = instance.unique_objective(node.name)
+                    child = tree._new_node(NodeType.OBJECTIVE, k, level + 1, node)
+                    next_frontier.append((child, node.name))
+            else:  # constraint
+                # Children: the other agent of the degree-2 constraint.
+                w = instance.other_agent(node.name, came_from)
+                child = tree._new_node(NodeType.AGENT, w, level + 1, node)
+                next_frontier.append((child, node.name))
+        frontier = next_frontier
+
+    return tree

@@ -1,0 +1,143 @@
+"""Approximation certificates.
+
+Every solver in the library can attach a :class:`Certificate` to its output:
+the *a priori* guarantee ("this solution is within factor ``ρ`` of the
+optimum, by Theorem 1 / the safe-algorithm analysis") plus, once the exact
+optimum is known, the *measured* ratio.  Benchmarks and integration tests
+use :func:`verify_certificate` to assert that the measured ratio never
+exceeds the guaranteed one — this is the executable form of the paper's
+upper-bound claims.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from ..core.solution import Solution
+
+__all__ = ["Certificate", "verify_certificate"]
+
+#: Relative slack allowed when comparing a measured ratio against a
+#: guaranteed one (floating-point only; the guarantees themselves are exact).
+RATIO_TOLERANCE = 1e-7
+
+
+class Certificate:
+    """An approximation-ratio certificate for one solver run.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the algorithm that produced the solution.
+    guaranteed_ratio:
+        The proven worst-case factor between the optimum and the utility of
+        the produced solution (``opt ≤ guaranteed_ratio · utility``).
+    delta_I, delta_K:
+        The degree bounds of the instance the guarantee refers to.
+    parameters:
+        Free-form solver parameters (e.g. ``{"R": 4}``).
+    utility:
+        Utility of the produced solution (filled in by the solver).
+    optimum:
+        Exact optimum, when known (filled in by :func:`verify_certificate`).
+    measured_ratio:
+        ``optimum / utility`` when both are known and the utility is
+        positive.
+    """
+
+    __slots__ = (
+        "algorithm",
+        "guaranteed_ratio",
+        "delta_I",
+        "delta_K",
+        "parameters",
+        "utility",
+        "optimum",
+        "measured_ratio",
+    )
+
+    def __init__(
+        self,
+        algorithm: str,
+        guaranteed_ratio: float,
+        delta_I: int,
+        delta_K: int,
+        parameters: Optional[Dict[str, object]] = None,
+        utility: Optional[float] = None,
+    ) -> None:
+        self.algorithm = algorithm
+        self.guaranteed_ratio = guaranteed_ratio
+        self.delta_I = delta_I
+        self.delta_K = delta_K
+        self.parameters = parameters or {}
+        self.utility = utility
+        self.optimum: Optional[float] = None
+        self.measured_ratio: Optional[float] = None
+
+    def record_measurement(self, optimum: float, utility: Optional[float] = None) -> float:
+        """Record the exact optimum (and optionally the utility) and return the measured ratio.
+
+        A measured ratio of ``1.0`` is reported when both optimum and utility
+        are (numerically) zero; ``inf`` when the utility is zero but the
+        optimum is not.
+        """
+        if utility is not None:
+            self.utility = utility
+        if self.utility is None:
+            raise ValueError("certificate has no recorded utility")
+        self.optimum = optimum
+        if optimum <= 0.0:
+            self.measured_ratio = 1.0
+        elif self.utility <= 0.0:
+            self.measured_ratio = math.inf
+        else:
+            self.measured_ratio = optimum / self.utility
+        return self.measured_ratio
+
+    @property
+    def holds(self) -> Optional[bool]:
+        """Whether the measured ratio respects the guarantee (None if unmeasured)."""
+        if self.measured_ratio is None:
+            return None
+        return self.measured_ratio <= self.guaranteed_ratio * (1.0 + RATIO_TOLERANCE)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "guaranteed_ratio": self.guaranteed_ratio,
+            "delta_I": self.delta_I,
+            "delta_K": self.delta_K,
+            "parameters": dict(self.parameters),
+            "utility": self.utility,
+            "optimum": self.optimum,
+            "measured_ratio": self.measured_ratio,
+            "holds": self.holds,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        measured = f"{self.measured_ratio:.4f}" if self.measured_ratio is not None else "?"
+        return (
+            f"Certificate({self.algorithm!r}, guaranteed={self.guaranteed_ratio:.4f}, "
+            f"measured={measured})"
+        )
+
+
+def verify_certificate(
+    certificate: Certificate,
+    solution: Solution,
+    optimum: float,
+    tol: float = RATIO_TOLERANCE,
+) -> bool:
+    """Check the guarantee against ground truth.
+
+    Records the solution's utility and the optimum on the certificate and
+    returns True iff the solution is feasible and
+    ``optimum ≤ guaranteed_ratio · utility`` up to relative tolerance.
+    """
+    if not solution.is_feasible():
+        return False
+    certificate.record_measurement(optimum, utility=solution.utility())
+    measured = certificate.measured_ratio
+    assert measured is not None
+    return measured <= certificate.guaranteed_ratio * (1.0 + tol)

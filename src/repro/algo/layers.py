@@ -1,0 +1,324 @@
+"""Layers, up/down agents and the shifting strategy (paper §6).
+
+The *analysis* of the algorithm partitions the agents of the (tree-shaped)
+communication graph into **up-agents** and **down-agents** such that
+
+* every constraint is adjacent to exactly one up-agent and one down-agent,
+* every objective is adjacent to exactly one up-agent,
+
+and assigns an integer **layer** to every node (Figure 3 weights) with the
+residues of Lemma 8: objectives ``≡ 0``, down-agents ``≡ 1``, constraints
+``≡ 2`` and up-agents ``≡ 3 (mod 4)``.
+
+On top of a layering, the shifting strategy builds for every shift
+``j = 0 … R−1`` the solution ``y(j)`` of Eq. 19 (passive layers get 0, the
+rest read off the ``g±`` tables), whose average over ``j`` is Eq. 20.
+Lemmata 9, 10 and 12 make quantitative claims about these vectors; the test
+suite and experiment E8 verify them numerically using this module.
+
+The layering is an analysis device — the algorithm itself never computes it
+(that is the whole point of the averaging step).  A consistent layering need
+not exist on graphs with cycles; :func:`assign_layers` raises
+:class:`LayeringError` when it detects a conflict, and works on any tree.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .._types import GraphNode, NodeId, NodeType, agent_node, constraint_node, objective_node
+from ..core.instance import MaxMinInstance
+from ..core.solution import Solution
+from ..core.validation import require_special_form
+from ..exceptions import ReproError
+from .local_solver import GRecursionValues
+
+__all__ = [
+    "LayeringError",
+    "Layering",
+    "assign_layers",
+    "is_layerable",
+    "shifted_solution",
+    "averaged_shifted_solution",
+]
+
+
+class LayeringError(ReproError):
+    """Raised when no consistent layer / role assignment exists (e.g. odd cycles)."""
+
+
+class Layering:
+    """A consistent layer and role assignment for a special-form instance.
+
+    Attributes
+    ----------
+    layers:
+        Mapping from ``(NodeType, id)`` graph node to its integer layer.
+    roles:
+        Mapping from agent id to ``"up"`` or ``"down"``.
+    root_objective:
+        The objective fixed at layer 0.
+    """
+
+    __slots__ = ("instance", "layers", "roles", "root_objective")
+
+    def __init__(
+        self,
+        instance: MaxMinInstance,
+        layers: Dict[GraphNode, int],
+        roles: Dict[NodeId, str],
+        root_objective: NodeId,
+    ) -> None:
+        self.instance = instance
+        self.layers = layers
+        self.roles = roles
+        self.root_objective = root_objective
+
+    def layer_of_agent(self, v: NodeId) -> int:
+        return self.layers[agent_node(v)]
+
+    def layer_of_constraint(self, i: NodeId) -> int:
+        return self.layers[constraint_node(i)]
+
+    def layer_of_objective(self, k: NodeId) -> int:
+        return self.layers[objective_node(k)]
+
+    def is_up(self, v: NodeId) -> bool:
+        return self.roles[v] == "up"
+
+    def check(self) -> List[str]:
+        """Verify the §6 invariants; returns a list of violations (empty = OK)."""
+        problems: List[str] = []
+        inst = self.instance
+        for node, layer in self.layers.items():
+            kind, name = node
+            if kind is NodeType.OBJECTIVE and layer % 4 != 0:
+                problems.append(f"objective {name!r} at layer {layer} (≢ 0 mod 4)")
+            if kind is NodeType.CONSTRAINT and layer % 4 != 2:
+                problems.append(f"constraint {name!r} at layer {layer} (≢ 2 mod 4)")
+            if kind is NodeType.AGENT:
+                expected = 3 if self.roles[name] == "up" else 1
+                if layer % 4 != expected:
+                    problems.append(
+                        f"{self.roles[name]}-agent {name!r} at layer {layer} (≢ {expected} mod 4)"
+                    )
+        for i in inst.constraints:
+            members = inst.agents_of_constraint(i)
+            ups = [v for v in members if self.roles[v] == "up"]
+            if len(members) == 2 and len(ups) != 1:
+                problems.append(f"constraint {i!r} has {len(ups)} up-agents (expected 1)")
+        for k in inst.objectives:
+            ups = [v for v in inst.agents_of_objective(k) if self.roles[v] == "up"]
+            if len(ups) != 1:
+                problems.append(f"objective {k!r} has {len(ups)} up-agents (expected 1)")
+        return problems
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Layering(root={self.root_objective!r}, nodes={len(self.layers)}, "
+            f"up={sum(1 for r in self.roles.values() if r == 'up')}, "
+            f"down={sum(1 for r in self.roles.values() if r == 'down')})"
+        )
+
+
+def assign_layers(
+    instance: MaxMinInstance,
+    root_objective: Optional[NodeId] = None,
+    up_agent: Optional[NodeId] = None,
+    modulus: Optional[int] = None,
+) -> Layering:
+    """Construct a consistent layering by breadth-first propagation.
+
+    Parameters
+    ----------
+    instance:
+        A connected special-form instance.
+    root_objective:
+        The objective fixed at layer 0 (default: the first one).
+    up_agent:
+        Which agent of the root objective plays the up role (default: the
+        first adjacent agent).  The paper notes several layerings exist; any
+        consistent choice satisfies the lemmas.
+    modulus:
+        When given (must be a positive multiple of 4), layers are only
+        required to be consistent modulo this value.  The shifting strategy
+        of §6.1 uses layers modulo ``4R`` only, so a ``modulus=4R`` layering
+        is sufficient for Eqs. 19–20; this makes the analysis machinery
+        applicable to finite instances such as long cycles (no *finite*
+        special-form instance admits an exact layering — that is exactly why
+        the paper works with infinite unfoldings).
+
+    Raises
+    ------
+    LayeringError
+        If a conflict is detected (the instance contains a cycle that cannot
+        be layered consistently) or the instance is disconnected.
+    """
+    require_special_form(instance)
+    if not instance.objectives:
+        raise LayeringError("cannot layer an instance without objectives")
+    if modulus is not None and (modulus <= 0 or modulus % 4 != 0):
+        raise LayeringError(f"modulus must be a positive multiple of 4, got {modulus}")
+
+    def reduce(layer: int) -> int:
+        return layer % modulus if modulus is not None else layer
+
+    root = root_objective if root_objective is not None else instance.objectives[0]
+    if not instance.has_objective(root):
+        raise LayeringError(f"unknown root objective {root!r}")
+    root_members = instance.agents_of_objective(root)
+    chosen_up = up_agent if up_agent is not None else root_members[0]
+    if chosen_up not in root_members:
+        raise LayeringError(f"agent {chosen_up!r} is not adjacent to root objective {root!r}")
+
+    layers: Dict[GraphNode, int] = {objective_node(root): 0}
+    roles: Dict[NodeId, str] = {}
+
+    queue: deque = deque()
+
+    def set_agent(v: NodeId, layer: int, role: str) -> None:
+        layer = reduce(layer)
+        node = agent_node(v)
+        if node in layers:
+            if layers[node] != layer or roles.get(v) != role:
+                raise LayeringError(
+                    f"conflicting assignment for agent {v!r}: "
+                    f"({layers[node]}, {roles.get(v)}) vs ({layer}, {role})"
+                )
+            return
+        layers[node] = layer
+        roles[v] = role
+        queue.append(agent_node(v))
+
+    def set_non_agent(node: GraphNode, layer: int) -> None:
+        layer = reduce(layer)
+        if node in layers:
+            if layers[node] != layer:
+                raise LayeringError(
+                    f"conflicting layer for {node[0].short}:{node[1]!r}: {layers[node]} vs {layer}"
+                )
+            return
+        layers[node] = layer
+        queue.append(node)
+
+    # Seed: the root objective and its agents.
+    set_agent(chosen_up, -1, "up")
+    for w in root_members:
+        if w != chosen_up:
+            set_agent(w, 1, "down")
+    queue.append(objective_node(root))
+
+    while queue:
+        node = queue.popleft()
+        kind, name = node
+        layer = layers[node]
+        if kind is NodeType.OBJECTIVE:
+            members = instance.agents_of_objective(name)
+            assigned_up = [v for v in members if roles.get(v) == "up"]
+            unassigned = [v for v in members if agent_node(v) not in layers]
+            if not assigned_up:
+                # Arrived from a down-agent: pick one unassigned member as up.
+                if not unassigned:
+                    raise LayeringError(f"objective {name!r} has no candidate up-agent")
+                set_agent(unassigned[0], layer - 1, "up")
+                unassigned = unassigned[1:]
+            for v in unassigned:
+                set_agent(v, layer + 1, "down")
+        elif kind is NodeType.CONSTRAINT:
+            members = instance.agents_of_constraint(name)
+            for v in members:
+                if agent_node(v) in layers:
+                    continue
+                # The other member decides: constraints pair one down-agent
+                # (layer − 1) with one up-agent (layer + 1).
+                partner_roles = {roles[w] for w in members if w != v and w in roles}
+                if "down" in partner_roles:
+                    set_agent(v, layer + 1, "up")
+                else:
+                    set_agent(v, layer - 1, "down")
+        else:  # agent
+            role = roles[name]
+            k = instance.unique_objective(name)
+            if role == "up":
+                set_non_agent(objective_node(k), layer + 1)
+                for i in instance.constraints_of_agent(name):
+                    set_non_agent(constraint_node(i), layer - 1)
+            else:
+                set_non_agent(objective_node(k), layer - 1)
+                for i in instance.constraints_of_agent(name):
+                    set_non_agent(constraint_node(i), layer + 1)
+
+    expected_nodes = instance.num_nodes
+    if len(layers) != expected_nodes:
+        raise LayeringError(
+            f"layering reached {len(layers)} of {expected_nodes} nodes; instance is disconnected"
+        )
+
+    layering = Layering(instance, layers, roles, root)
+    problems = layering.check()
+    if problems:
+        raise LayeringError("inconsistent layering: " + "; ".join(problems[:5]))
+    return layering
+
+
+def is_layerable(
+    instance: MaxMinInstance,
+    root_objective: Optional[NodeId] = None,
+    up_agent: Optional[NodeId] = None,
+) -> bool:
+    """True if :func:`assign_layers` succeeds with the given choices."""
+    try:
+        assign_layers(instance, root_objective, up_agent)
+    except LayeringError:
+        return False
+    return True
+
+
+def _shift_decomposition(layer: int, role: str, R: int, j: int) -> Tuple[int, int]:
+    """Decompose an agent layer as ``4(Rc + j) + 4d + e`` (Eq. 19).
+
+    Returns ``(d, e)`` with ``0 ≤ d ≤ R − 1`` and ``e ∈ {−1, +1}``; up-agents
+    always have ``e = −1`` and down-agents ``e = +1``.
+    """
+    e = -1 if role == "up" else 1
+    base = (layer - e) // 4  # = Rc + j + d
+    d = (base - j) % R
+    return d, e
+
+
+def shifted_solution(
+    layering: Layering,
+    g: GRecursionValues,
+    R: int,
+    j: int,
+    label: Optional[str] = None,
+) -> Solution:
+    """The vector ``y(j)`` of Eq. 19 for shift parameter ``j``."""
+    if not 0 <= j < R:
+        raise ValueError(f"shift parameter j must satisfy 0 <= j < R, got {j}")
+    r = R - 2
+    if g.r != r:
+        raise ValueError(f"g tables have depth r={g.r}, expected R-2={r}")
+    inst = layering.instance
+    values: Dict[NodeId, float] = {}
+    for v in inst.agents:
+        d, e = _shift_decomposition(layering.layer_of_agent(v), layering.roles[v], R, j)
+        if d == R - 1:
+            values[v] = 0.0
+        elif e == -1:
+            values[v] = g.minus(v, r - d)
+        else:
+            values[v] = g.plus(v, r - d)
+    return Solution(inst, values, label=label or f"y(j={j})")
+
+
+def averaged_shifted_solution(
+    layering: Layering,
+    g: GRecursionValues,
+    R: int,
+    label: str = "y-averaged",
+) -> Solution:
+    """The vector ``y`` of Eq. 20 — the average of ``y(j)`` over all shifts."""
+    solutions = [shifted_solution(layering, g, R, j) for j in range(R)]
+    return Solution.average(solutions, label=label)

@@ -1,0 +1,225 @@
+"""The local algorithm for special-form instances (paper §5.3).
+
+Given a special-form instance (``|V_i| = 2``, ``|V_k| ≥ 2``, ``|K_v| = 1``,
+``|I_v| ≥ 1``, ``c_kv = 1``) and the shifting parameter ``R ≥ 2``
+(``r = R − 2``), the algorithm computes
+
+1. the per-agent upper bounds ``t_u`` (optimum of the alternating tree
+   ``A_u``, §5.1–§5.2),
+2. the smoothed bounds ``s_v = min { t_u : dist(u, v) ≤ 4r + 2 }``,
+3. the ``g±`` recursion (Eqs. 12–14)::
+
+       g⁺_{v,0} = min_{i∈I_v} 1 / a_iv
+       g⁻_{v,d} = max(0, s_v − Σ_{w∈N(v)} g⁺_{w,d})            d = 0 … r
+       g⁺_{v,d} = min_{i∈I_v} (1 − a_{i,n(v,i)} g⁻_{n(v,i),d−1}) / a_iv   d = 1 … r
+
+4. the output (Eq. 18)::
+
+       x_v = (1 / 2R) Σ_{d=0}^{r} ( g⁺_{v,d} + g⁻_{v,d} )
+
+The output is feasible (Lemma 11) and within a factor
+``2 (1 − 1/ΔK) (1 + 1/(R−1))`` of the optimum (Lemma 12 + §6.3).
+
+Everything here is the *centralized reference* implementation: it computes
+the same quantities a distributed execution would, directly on the instance.
+The message-passing realisation lives in :mod:`repro.distributed.agents` and
+is tested to produce bit-identical outputs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from .._types import NodeId
+from ..core.instance import MaxMinInstance
+from ..core.solution import Solution
+from ..core.validation import require_special_form
+from ..exceptions import InvalidInstanceError
+from .upper_bound import DEFAULT_BISECTION_TOL, compute_upper_bounds, smooth_upper_bounds
+
+__all__ = ["GRecursionValues", "SpecialFormSolveResult", "SpecialFormLocalSolver", "special_form_ratio"]
+
+
+def special_form_ratio(delta_K: int, R: int) -> float:
+    """The §6.3 guarantee ``2 (1 − 1/ΔK)(1 + 1/(R − 1))`` for the special form."""
+    if R < 2:
+        raise ValueError(f"R must be at least 2, got {R}")
+    if delta_K < 2:
+        delta_K = 2
+    return 2.0 * (1.0 - 1.0 / delta_K) * (1.0 + 1.0 / (R - 1.0))
+
+
+class GRecursionValues:
+    """The ``g±`` tables of one run, indexed ``[d][agent]`` for ``d = 0 … r``."""
+
+    __slots__ = ("g_plus", "g_minus", "r")
+
+    def __init__(self, g_plus: List[Dict[NodeId, float]], g_minus: List[Dict[NodeId, float]]) -> None:
+        if len(g_plus) != len(g_minus):
+            raise InvalidInstanceError("g_plus and g_minus must have the same depth")
+        self.g_plus = g_plus
+        self.g_minus = g_minus
+        self.r = len(g_plus) - 1
+
+    def plus(self, v: NodeId, d: int) -> float:
+        return self.g_plus[d][v]
+
+    def minus(self, v: NodeId, d: int) -> float:
+        return self.g_minus[d][v]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GRecursionValues(r={self.r}, agents={len(self.g_plus[0])})"
+
+
+class SpecialFormSolveResult:
+    """Everything produced by one run of the §5 algorithm on a special-form instance.
+
+    Attributes
+    ----------
+    solution:
+        The output vector ``x`` of Eq. 18 (feasible by Lemma 11).
+    upper_bounds:
+        ``t_u`` per agent.
+    smoothed_bounds:
+        ``s_v`` per agent.
+    g:
+        The ``g±`` recursion tables (used by the §6 analysis machinery and
+        by the structural tests of Lemmata 5–7).
+    R, r:
+        The shifting parameter and ``r = R − 2``.
+    guaranteed_ratio:
+        ``2 (1 − 1/ΔK)(1 + 1/(R−1))`` for this instance's ``ΔK``.
+    """
+
+    __slots__ = ("solution", "upper_bounds", "smoothed_bounds", "g", "R", "r", "guaranteed_ratio")
+
+    def __init__(
+        self,
+        solution: Solution,
+        upper_bounds: Dict[NodeId, float],
+        smoothed_bounds: Dict[NodeId, float],
+        g: GRecursionValues,
+        R: int,
+        guaranteed_ratio: float,
+    ) -> None:
+        self.solution = solution
+        self.upper_bounds = upper_bounds
+        self.smoothed_bounds = smoothed_bounds
+        self.g = g
+        self.R = R
+        self.r = R - 2
+        self.guaranteed_ratio = guaranteed_ratio
+
+    def utility(self) -> float:
+        return self.solution.utility()
+
+    def minimum_smoothed_bound(self) -> float:
+        """``min_v s_v`` — the quantity Lemma 12 relates the output to."""
+        return min(self.smoothed_bounds.values()) if self.smoothed_bounds else math.inf
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SpecialFormSolveResult(R={self.R}, utility={self.utility():.6g}, "
+            f"guaranteed_ratio={self.guaranteed_ratio:.4f})"
+        )
+
+
+class SpecialFormLocalSolver:
+    """Centralized reference implementation of the §5 local algorithm.
+
+    Parameters
+    ----------
+    R:
+        Shifting parameter (≥ 2).  Larger R improves the approximation ratio
+        — ``2 (1 − 1/ΔK)(1 + 1/(R−1))`` — at the cost of a local horizon that
+        grows linearly in R.
+    tu_method:
+        ``"recursion"`` (binary search, default) or ``"lp"`` (exact tree LP).
+    tu_tol:
+        Bisection tolerance when ``tu_method="recursion"``.
+    """
+
+    def __init__(
+        self,
+        R: int = 3,
+        *,
+        tu_method: str = "recursion",
+        tu_tol: float = DEFAULT_BISECTION_TOL,
+    ) -> None:
+        if R < 2:
+            raise ValueError(f"shifting parameter R must be at least 2, got {R}")
+        if tu_method not in ("recursion", "lp"):
+            raise ValueError(f"unknown tu_method {tu_method!r}")
+        self.R = R
+        self.r = R - 2
+        self.tu_method = tu_method
+        self.tu_tol = tu_tol
+
+    # ------------------------------------------------------------------
+    def compute_g_recursion(
+        self, instance: MaxMinInstance, smoothed_bounds: Dict[NodeId, float]
+    ) -> GRecursionValues:
+        """Evaluate Eqs. 12–14 for all agents and all depths ``d = 0 … r``."""
+        r = self.r
+        agents = instance.agents
+
+        g_plus: List[Dict[NodeId, float]] = [dict() for _ in range(r + 1)]
+        g_minus: List[Dict[NodeId, float]] = [dict() for _ in range(r + 1)]
+
+        # Eq. 12 — depth 0 upper values are the individual capacities.
+        for v in agents:
+            g_plus[0][v] = instance.agent_capacity(v)
+
+        for d in range(r + 1):
+            if d >= 1:
+                # Eq. 14 — g⁺ at depth d needs g⁻ of the constraint partners at d−1.
+                for v in agents:
+                    best = math.inf
+                    for i in instance.constraints_of_agent(v):
+                        partner = instance.other_agent(i, v)
+                        candidate = (
+                            1.0 - instance.a(i, partner) * g_minus[d - 1][partner]
+                        ) / instance.a(i, v)
+                        if candidate < best:
+                            best = candidate
+                    g_plus[d][v] = best
+            # Eq. 13 — g⁻ at depth d needs g⁺ of the objective siblings at d.
+            for v in agents:
+                sibling_total = sum(g_plus[d][w] for w in instance.objective_siblings(v))
+                g_minus[d][v] = max(0.0, smoothed_bounds[v] - sibling_total)
+
+        return GRecursionValues(g_plus, g_minus)
+
+    def output_vector(self, instance: MaxMinInstance, g: GRecursionValues) -> Solution:
+        """Eq. 18: ``x_v = (1/2R) Σ_d (g⁺_{v,d} + g⁻_{v,d})``."""
+        factor = 1.0 / (2.0 * self.R)
+        values = {
+            v: factor * sum(g.plus(v, d) + g.minus(v, d) for d in range(self.r + 1))
+            for v in instance.agents
+        }
+        return Solution(instance, values, label=f"local-R{self.R}")
+
+    # ------------------------------------------------------------------
+    def solve(self, instance: MaxMinInstance) -> SpecialFormSolveResult:
+        """Run the full §5 algorithm on a special-form instance."""
+        require_special_form(instance)
+
+        upper_bounds = compute_upper_bounds(
+            instance, self.r, method=self.tu_method, tol=self.tu_tol
+        )
+        smoothed = smooth_upper_bounds(instance, upper_bounds, self.r)
+        g = self.compute_g_recursion(instance, smoothed)
+        solution = self.output_vector(instance, g)
+
+        return SpecialFormSolveResult(
+            solution=solution,
+            upper_bounds=upper_bounds,
+            smoothed_bounds=smoothed,
+            g=g,
+            R=self.R,
+            guaranteed_ratio=special_form_ratio(instance.delta_K, self.R),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SpecialFormLocalSolver(R={self.R}, tu_method={self.tu_method!r})"

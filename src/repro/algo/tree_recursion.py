@@ -1,0 +1,150 @@
+"""The level-wise ``f±`` recursion on alternating trees (paper §5.2, Eqs. 5–9).
+
+For a fixed candidate utility ``ω`` the recursion assigns to every agent node
+of ``A_u`` either a value ``f⁺`` ("largest value that does not violate the
+constraints below") or ``f⁻`` ("smallest value such that the objective below
+still reaches ``ω``"), proceeding from the deepest agents (level ``4r + 1``)
+towards the root ``u`` (level ``−1``):
+
+* ``f⁺_{u,v,0}(ω) = min_{i∈I_v} 1/a_iv``                        (level 4r+1)
+* ``f⁻_{u,v,d}(ω) = max(0, ω − Σ_{w∈N(v)} f⁺_{u,w,d}(ω))``      (level 4(r−d)−1)
+* ``f⁺_{u,v,d}(ω) = min_{i∈I_v} (1 − a_{i,n(v,i)} f⁻_{u,n(v,i),d−1}(ω)) / a_iv``
+                                                                 (level 4(r−d)+1)
+
+``ω`` is *feasible for the recursion* when every ``f⁺`` is non-negative
+(Eq. 8) and the root value ``f⁻_{u,u,r}(ω)`` does not exceed
+``min_{i∈I_u} 1/a_iu`` (Eq. 9).  Lemma 3 shows the largest such ``ω`` is the
+optimum ``t_u`` of the max-min LP associated with ``A_u``; the feasibility
+predicate is monotone in ``ω``, so ``t_u`` can be found by binary search
+(see :mod:`repro.algo.upper_bound`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from .._types import NodeType
+from ..exceptions import InvalidInstanceError
+from .alternating_tree import AlternatingTree, TreeNode
+
+__all__ = ["FRecursionValues", "evaluate_recursion", "recursion_feasible", "recursion_margin"]
+
+
+class FRecursionValues:
+    """Values of the ``f±`` recursion for one tree and one candidate ``ω``.
+
+    Attributes
+    ----------
+    omega:
+        The candidate utility the recursion was evaluated at.
+    f_plus / f_minus:
+        Mappings from :class:`TreeNode` index to value.  ``f_plus`` is defined
+        on agent nodes at levels ``≡ 1 (mod 4)``; ``f_minus`` on agent nodes
+        at levels ``≡ 3 (mod 4)`` and on the root (level ``−1``).
+    depth_of:
+        The recursion depth ``d`` associated with each agent node index
+        (``d = r`` at the root / level ``3``'s top layer, ``d = 0`` deepest).
+    """
+
+    __slots__ = ("omega", "f_plus", "f_minus", "depth_of")
+
+    def __init__(self, omega: float) -> None:
+        self.omega = omega
+        self.f_plus: Dict[int, float] = {}
+        self.f_minus: Dict[int, float] = {}
+        self.depth_of: Dict[int, int] = {}
+
+    def value(self, node: TreeNode) -> float:
+        """The recursion value of an agent node (``f⁺`` or ``f⁻`` as applicable)."""
+        if node.index in self.f_plus:
+            return self.f_plus[node.index]
+        if node.index in self.f_minus:
+            return self.f_minus[node.index]
+        raise KeyError(f"no recursion value for node {node!r}")
+
+    def min_f_plus(self) -> float:
+        """The smallest ``f⁺`` value (used for the feasibility check, Eq. 8)."""
+        return min(self.f_plus.values()) if self.f_plus else math.inf
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FRecursionValues(omega={self.omega:.6g}, "
+            f"|f+|={len(self.f_plus)}, |f-|={len(self.f_minus)})"
+        )
+
+
+def _depth_for_level(level: int, r: int) -> int:
+    """The recursion depth ``d`` of an agent at the given tree level."""
+    if level % 4 == 1:
+        # level = 4(r − d) + 1
+        return r - (level - 1) // 4
+    if level % 4 == 3 or level == -1:
+        # level = 4(r − d) − 1
+        return r - (level + 1) // 4
+    raise InvalidInstanceError(f"level {level} does not belong to an agent node")
+
+
+def evaluate_recursion(tree: AlternatingTree, omega: float) -> FRecursionValues:
+    """Evaluate the ``f±`` recursion of ``A_u`` at the candidate utility ``ω``."""
+    instance = tree.instance
+    r = tree.r
+    values = FRecursionValues(omega)
+
+    # Agents are processed from the deepest level towards the root; within a
+    # level the order is irrelevant (the recursion only looks downwards).
+    agent_levels: List[int] = sorted(
+        {node.level for node in tree.nodes if node.kind is NodeType.AGENT}, reverse=True
+    )
+
+    for level in agent_levels:
+        for node in tree.nodes_at_level(level):
+            if node.kind is not NodeType.AGENT:
+                continue
+            d = _depth_for_level(level, r)
+            values.depth_of[node.index] = d
+            if level == 4 * r + 1:
+                # Eq. 5: deepest agents take their individual capacity.
+                values.f_plus[node.index] = instance.agent_capacity(node.name)
+            elif level % 4 == 1:
+                # Eq. 7: constrained from below by the f⁻ of the partner agents.
+                best = math.inf
+                for constraint_child in node.children:
+                    # Each constraint child has exactly one agent child n(v, i).
+                    partner = constraint_child.children[0]
+                    a_vn = instance.a(constraint_child.name, partner.name)
+                    a_vv = instance.a(constraint_child.name, node.name)
+                    candidate = (1.0 - a_vn * values.f_minus[partner.index]) / a_vv
+                    if candidate < best:
+                        best = candidate
+                values.f_plus[node.index] = best
+            else:
+                # Eq. 6: smallest value such that the objective below meets ω.
+                objective_child = next(
+                    child for child in node.children if child.kind is NodeType.OBJECTIVE
+                )
+                total = sum(values.f_plus[w.index] for w in objective_child.children)
+                values.f_minus[node.index] = max(0.0, omega - total)
+
+    return values
+
+
+def recursion_margin(tree: AlternatingTree, omega: float) -> float:
+    """Feasibility margin of ``ω`` for the recursion (≥ 0 iff feasible).
+
+    The margin is the minimum of
+
+    * every ``f⁺`` value (Eq. 8 demands them to be non-negative), and
+    * ``min_{i∈I_u} 1/a_iu − f⁻_{u,u,r}(ω)`` (Eq. 9).
+
+    It is continuous and non-increasing in ``ω``, which is what makes binary
+    search for ``t_u`` valid.
+    """
+    values = evaluate_recursion(tree, omega)
+    root_slack = tree.instance.agent_capacity(tree.root_agent) - values.f_minus[tree.root.index]
+    return min(values.min_f_plus(), root_slack)
+
+
+def recursion_feasible(tree: AlternatingTree, omega: float, tol: float = 0.0) -> bool:
+    """True when ``ω`` satisfies Eqs. 8–9 (within ``tol``)."""
+    return recursion_margin(tree, omega) >= -tol

@@ -1,0 +1,30 @@
+"""Measurement, sweeping and reporting utilities for the experiments."""
+
+from .indistinguishability import (
+    IndistinguishabilityResult,
+    agent_view_classes,
+    best_local_ratio_bound,
+    build_view,
+    view_signature,
+)
+from .ratios import compare_algorithms, evaluate_solution, measured_ratio
+from .reporting import format_markdown_table, format_table, format_value, summarise_column
+from .sweeps import group_rows, run_ratio_sweep, worst_case_by
+
+__all__ = [
+    "measured_ratio",
+    "evaluate_solution",
+    "compare_algorithms",
+    "run_ratio_sweep",
+    "group_rows",
+    "worst_case_by",
+    "format_table",
+    "format_markdown_table",
+    "format_value",
+    "summarise_column",
+    "build_view",
+    "view_signature",
+    "agent_view_classes",
+    "best_local_ratio_bound",
+    "IndistinguishabilityResult",
+]

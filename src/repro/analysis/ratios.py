@@ -1,0 +1,114 @@
+"""Approximation-ratio measurement helpers.
+
+Every experiment in EXPERIMENTS.md ultimately reports the same quantity —
+how far a solution's utility is from the exact optimum — so the logic lives
+here once: compute the optimum, evaluate one or more algorithms, and return
+flat records that the reporting module renders as tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..algo.general_solver import LocalMaxMinSolver
+from ..algo.safe_algorithm import SafeAlgorithm
+from ..core.instance import MaxMinInstance
+from ..core.lp import solve_maxmin_lp
+from ..core.solution import Solution
+
+__all__ = ["measured_ratio", "evaluate_solution", "compare_algorithms"]
+
+
+def measured_ratio(optimum: float, utility: float) -> float:
+    """``optimum / utility`` with the degenerate cases pinned down.
+
+    Both zero → 1 (the algorithm is trivially optimal); zero utility against
+    a positive optimum → ``inf``.
+    """
+    if optimum <= 0.0:
+        return 1.0
+    if utility <= 0.0:
+        return math.inf
+    return optimum / utility
+
+
+def evaluate_solution(
+    instance: MaxMinInstance,
+    solution: Solution,
+    *,
+    algorithm: str,
+    guaranteed_ratio: Optional[float] = None,
+    optimum: Optional[float] = None,
+) -> Dict[str, object]:
+    """One flat record: feasibility, utility, measured ratio, guarantee."""
+    if optimum is None:
+        optimum = solve_maxmin_lp(instance).optimum
+    utility = solution.utility()
+    ratio = measured_ratio(optimum, utility)
+    record: Dict[str, object] = {
+        "instance": instance.name,
+        "algorithm": algorithm,
+        "num_agents": instance.num_agents,
+        "delta_I": instance.delta_I,
+        "delta_K": instance.delta_K,
+        "feasible": solution.is_feasible(),
+        "optimum": optimum,
+        "utility": utility,
+        "measured_ratio": ratio,
+    }
+    if guaranteed_ratio is not None:
+        record["guaranteed_ratio"] = guaranteed_ratio
+        record["within_guarantee"] = ratio <= guaranteed_ratio * (1.0 + 1e-7)
+    return record
+
+
+def compare_algorithms(
+    instance: MaxMinInstance,
+    *,
+    R_values: Sequence[int] = (2, 3, 4),
+    include_safe: bool = True,
+    include_optimum_row: bool = False,
+    tu_method: str = "recursion",
+) -> List[Dict[str, object]]:
+    """Run the local algorithm (for each R) and the safe baseline on one instance."""
+    lp = solve_maxmin_lp(instance)
+    records: List[Dict[str, object]] = []
+
+    for R in R_values:
+        solver = LocalMaxMinSolver(R=R, tu_method=tu_method)
+        result = solver.solve(instance)
+        records.append(
+            evaluate_solution(
+                instance,
+                result.solution,
+                algorithm=f"local-R{R}",
+                guaranteed_ratio=result.certificate.guaranteed_ratio,
+                optimum=lp.optimum,
+            )
+        )
+
+    if include_safe:
+        safe = SafeAlgorithm()
+        solution, certificate = safe.solve_with_certificate(instance)
+        records.append(
+            evaluate_solution(
+                instance,
+                solution,
+                algorithm=safe.name,
+                guaranteed_ratio=certificate.guaranteed_ratio,
+                optimum=lp.optimum,
+            )
+        )
+
+    if include_optimum_row:
+        records.append(
+            evaluate_solution(
+                instance,
+                lp.solution,
+                algorithm="lp-optimum",
+                guaranteed_ratio=1.0,
+                optimum=lp.optimum,
+            )
+        )
+    return records

@@ -1,0 +1,90 @@
+"""Parameter-sweep harness.
+
+The experiments of EXPERIMENTS.md are parameter sweeps at heart: run a set
+of algorithms over a family of instances and tabulate utilities, measured
+ratios and guarantees.  :func:`run_ratio_sweep` does exactly that, and
+:func:`worst_case_by` aggregates the worst measured ratio per group — the
+number the paper's *worst-case* guarantees speak about.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.instance import MaxMinInstance
+from ..core.lp import solve_maxmin_lp
+from .ratios import compare_algorithms
+
+__all__ = ["run_ratio_sweep", "worst_case_by", "group_rows"]
+
+
+def run_ratio_sweep(
+    instances: Iterable[MaxMinInstance],
+    *,
+    R_values: Sequence[int] = (2, 3, 4),
+    include_safe: bool = True,
+    tu_method: str = "recursion",
+    extra_fields: Optional[Mapping[str, Callable[[MaxMinInstance], object]]] = None,
+) -> List[Dict[str, object]]:
+    """Evaluate the algorithms on every instance and return flat records.
+
+    Parameters
+    ----------
+    instances:
+        The instance family.
+    R_values:
+        Shifting parameters to evaluate the local algorithm with.
+    include_safe:
+        Also run the safe baseline.
+    tu_method:
+        ``"recursion"`` or ``"lp"`` for the per-agent bound computation.
+    extra_fields:
+        Optional ``column -> f(instance)`` callables whose values are added
+        to every record of that instance (e.g. a family label or a size
+        parameter).
+    """
+    rows: List[Dict[str, object]] = []
+    for instance in instances:
+        records = compare_algorithms(
+            instance, R_values=R_values, include_safe=include_safe, tu_method=tu_method
+        )
+        if extra_fields:
+            for record in records:
+                for column, fn in extra_fields.items():
+                    record[column] = fn(instance)
+        rows.extend(records)
+    return rows
+
+
+def group_rows(
+    rows: Sequence[Dict[str, object]], keys: Sequence[str]
+) -> Dict[tuple, List[Dict[str, object]]]:
+    """Group records by the given key columns."""
+    groups: Dict[tuple, List[Dict[str, object]]] = {}
+    for row in rows:
+        key = tuple(row.get(k) for k in keys)
+        groups.setdefault(key, []).append(row)
+    return groups
+
+
+def worst_case_by(
+    rows: Sequence[Dict[str, object]],
+    keys: Sequence[str] = ("algorithm",),
+    value_column: str = "measured_ratio",
+) -> List[Dict[str, object]]:
+    """Worst (largest) value of a column per group, as new summary records."""
+    summary: List[Dict[str, object]] = []
+    for key, members in group_rows(rows, keys).items():
+        worst = max(float(m[value_column]) for m in members)
+        mean = sum(float(m[value_column]) for m in members) / len(members)
+        record: Dict[str, object] = dict(zip(keys, key))
+        record[f"worst_{value_column}"] = worst
+        record[f"mean_{value_column}"] = mean
+        record["count"] = len(members)
+        guarantees = [float(m["guaranteed_ratio"]) for m in members if "guaranteed_ratio" in m]
+        if guarantees:
+            record["max_guaranteed_ratio"] = max(guarantees)
+            record["within_guarantee"] = worst <= max(guarantees) * (1.0 + 1e-7)
+        summary.append(record)
+    summary.sort(key=lambda rec: tuple(str(rec.get(k)) for k in keys))
+    return summary

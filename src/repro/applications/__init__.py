@@ -1,0 +1,25 @@
+"""Applications built on top of the max-min LP solvers (paper §1)."""
+
+from .fairness_metrics import jain_index, min_mean_ratio, service_statistics
+from .linear_equations import (
+    LinearSystemResult,
+    build_equation_instance,
+    solve_nonnegative_system,
+)
+from .packing_covering import (
+    PackingCoveringResult,
+    build_packing_covering_instance,
+    solve_packing_covering,
+)
+
+__all__ = [
+    "PackingCoveringResult",
+    "build_packing_covering_instance",
+    "solve_packing_covering",
+    "LinearSystemResult",
+    "build_equation_instance",
+    "solve_nonnegative_system",
+    "jain_index",
+    "min_mean_ratio",
+    "service_statistics",
+]

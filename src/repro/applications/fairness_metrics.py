@@ -1,0 +1,60 @@
+"""Fairness metrics for resource-allocation solutions.
+
+The max-min objective is itself a fairness criterion ("the worst-served
+customer is served as well as possible"), but when comparing algorithms it
+is useful to report complementary statistics of the per-objective service
+vector ``(ω_k(x))_{k ∈ K}``: Jain's fairness index, the min/mean ratio, and
+simple dispersion measures.  These appear in the application benchmarks
+(E9) and the example scripts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from .._types import NodeId
+from ..core.solution import Solution
+
+__all__ = ["jain_index", "min_mean_ratio", "service_statistics"]
+
+
+def jain_index(values: List[float]) -> float:
+    """Jain's fairness index ``(Σ y)² / (n Σ y²)`` (1 = perfectly even)."""
+    if not values:
+        return 1.0
+    total = sum(values)
+    squares = sum(y * y for y in values)
+    if squares == 0.0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+def min_mean_ratio(values: List[float]) -> float:
+    """``min(y) / mean(y)`` — 1 for a perfectly balanced allocation."""
+    if not values:
+        return 1.0
+    mean = sum(values) / len(values)
+    if mean == 0.0:
+        return 1.0
+    return min(values) / mean
+
+
+def service_statistics(solution: Solution) -> Dict[str, float]:
+    """Summary statistics of the per-objective service levels of a solution."""
+    values = [solution.objective_value(k) for k in solution.instance.objectives]
+    if not values:
+        return {
+            "min": math.inf,
+            "max": math.inf,
+            "mean": math.inf,
+            "jain_index": 1.0,
+            "min_mean_ratio": 1.0,
+        }
+    return {
+        "min": min(values),
+        "max": max(values),
+        "mean": sum(values) / len(values),
+        "jain_index": jain_index(values),
+        "min_mean_ratio": min_mean_ratio(values),
+    }

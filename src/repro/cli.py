@@ -1,0 +1,194 @@
+"""Command-line interface: ``maxmin-lp``.
+
+Sub-commands
+------------
+``generate``
+    Create an instance from one of the built-in generators and write it to a
+    JSON file.
+``solve``
+    Solve an instance file with the local algorithm (and optionally the safe
+    baseline and the exact LP) and print a comparison table.
+``compare``
+    Sweep the local algorithm over several values of R on an instance file.
+``info``
+    Print structural statistics of an instance file.
+
+The CLI is a thin veneer over the library — every code path it exercises is
+also covered by the test suite through the Python API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .algo.general_solver import LocalMaxMinSolver
+from .algo.safe_algorithm import SafeAlgorithm
+from .analysis.ratios import compare_algorithms
+from .analysis.reporting import format_table
+from .core.lp import solve_maxmin_lp
+from .generators import (
+    cycle_instance,
+    objective_ring_instance,
+    random_instance,
+    random_special_form_instance,
+    sensor_network_instance,
+    torus_instance,
+)
+from .io.serialization import load_instance, save_instance, save_solution
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="maxmin-lp",
+        description="Local approximation algorithms for max-min linear programs (SPAA 2009 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate an instance and write it to JSON")
+    gen.add_argument(
+        "family",
+        choices=["random", "special-form", "cycle", "torus", "sensor", "ring"],
+        help="instance family",
+    )
+    gen.add_argument("output", help="output JSON path")
+    gen.add_argument("--size", type=int, default=24, help="number of agents / segments / sensors")
+    gen.add_argument("--delta-i", type=int, default=3, dest="delta_I", help="max constraint degree")
+    gen.add_argument("--delta-k", type=int, default=3, dest="delta_K", help="max objective degree")
+    gen.add_argument("--seed", type=int, default=0)
+
+    solve = sub.add_parser("solve", help="solve an instance JSON with the local algorithm")
+    solve.add_argument("input", help="instance JSON path")
+    solve.add_argument("-R", type=int, default=3, help="shifting parameter (>= 2)")
+    solve.add_argument("--output", help="write the solution to this JSON path")
+    solve.add_argument("--with-safe", action="store_true", help="also run the safe baseline")
+    solve.add_argument("--with-optimum", action="store_true", help="also solve the exact LP")
+
+    compare = sub.add_parser("compare", help="compare R values and baselines on an instance")
+    compare.add_argument("input", help="instance JSON path")
+    compare.add_argument("--r-values", type=int, nargs="+", default=[2, 3, 4])
+
+    info = sub.add_parser("info", help="print structural statistics of an instance")
+    info.add_argument("input", help="instance JSON path")
+
+    return parser
+
+
+def _generate(args: argparse.Namespace) -> int:
+    if args.family == "random":
+        instance = random_instance(
+            args.size, delta_I=args.delta_I, delta_K=args.delta_K, seed=args.seed
+        )
+    elif args.family == "special-form":
+        instance = random_special_form_instance(args.size, delta_K=args.delta_K, seed=args.seed)
+    elif args.family == "cycle":
+        instance = cycle_instance(max(args.size, 2), seed=args.seed)
+    elif args.family == "torus":
+        side = max(2, int(round(args.size ** 0.5)))
+        instance = torus_instance(side, side, seed=args.seed)
+    elif args.family == "sensor":
+        instance = sensor_network_instance(
+            args.size, max(2, args.size // 4), seed=args.seed
+        ).instance
+    else:  # ring
+        instance = objective_ring_instance(max(args.size, 2), max(args.delta_K, 2))
+    path = save_instance(instance, args.output)
+    print(f"wrote {instance!r} to {path}")
+    return 0
+
+
+def _solve(args: argparse.Namespace) -> int:
+    instance = load_instance(args.input)
+    solver = LocalMaxMinSolver(R=args.R)
+    result = solver.solve(instance)
+    rows = [
+        {
+            "algorithm": solver.name,
+            "utility": result.utility(),
+            "feasible": result.solution.is_feasible(),
+            "guaranteed_ratio": result.certificate.guaranteed_ratio,
+        }
+    ]
+    if args.with_safe:
+        safe = SafeAlgorithm()
+        solution, certificate = safe.solve_with_certificate(instance)
+        rows.append(
+            {
+                "algorithm": safe.name,
+                "utility": solution.utility(),
+                "feasible": solution.is_feasible(),
+                "guaranteed_ratio": certificate.guaranteed_ratio,
+            }
+        )
+    if args.with_optimum:
+        lp = solve_maxmin_lp(instance)
+        rows.append(
+            {
+                "algorithm": "lp-optimum",
+                "utility": lp.optimum,
+                "feasible": True,
+                "guaranteed_ratio": 1.0,
+            }
+        )
+        for row in rows:
+            utility = float(row["utility"])
+            row["measured_ratio"] = lp.optimum / utility if utility > 0 else float("inf")
+    print(format_table(rows, title=f"{instance.name} (n={instance.num_agents})"))
+    if args.output:
+        save_solution(result.solution, args.output)
+        print(f"solution written to {args.output}")
+    return 0
+
+
+def _compare(args: argparse.Namespace) -> int:
+    instance = load_instance(args.input)
+    rows = compare_algorithms(instance, R_values=tuple(args.r_values), include_optimum_row=True)
+    columns = [
+        "algorithm",
+        "utility",
+        "optimum",
+        "measured_ratio",
+        "guaranteed_ratio",
+        "within_guarantee",
+        "feasible",
+    ]
+    print(format_table(rows, columns, title=f"{instance.name}"))
+    return 0
+
+
+def _info(args: argparse.Namespace) -> int:
+    instance = load_instance(args.input)
+    stats = instance.degree_statistics().as_dict()
+    rows = [
+        {"property": "agents", "value": instance.num_agents},
+        {"property": "constraints", "value": instance.num_constraints},
+        {"property": "objectives", "value": instance.num_objectives},
+        {"property": "edges", "value": instance.num_edges},
+        {"property": "connected", "value": instance.is_connected()},
+        {"property": "special form", "value": instance.is_special_form()},
+        {"property": "bipartite max-min LP", "value": instance.is_bipartite_maxmin()},
+        {"property": "0/1 coefficients", "value": instance.has_zero_one_coefficients()},
+    ]
+    rows.extend({"property": key, "value": value} for key, value in stats.items())
+    print(format_table(rows, ["property", "value"], title=instance.name))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``maxmin-lp`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _generate,
+        "solve": _solve,
+        "compare": _compare,
+        "info": _info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Core data model and exact solvers for max-min linear programs.
+
+This subpackage contains everything that is *not* specific to the local
+algorithm: the instance model, a builder, solution objects, validation,
+degenerate-case preprocessing and an exact LP solver used as ground truth.
+"""
+
+from .builder import InstanceBuilder
+from .instance import DegreeStatistics, MaxMinInstance
+from .lp import LPResult, best_response_value, optimum_value, solve_maxmin_lp
+from .preprocess import PreprocessResult, preprocess
+from .solution import FeasibilityReport, Solution
+from .validation import (
+    check_degree_bounds,
+    require_nondegenerate,
+    require_special_form,
+    validate_instance,
+    validation_issues,
+)
+
+__all__ = [
+    "InstanceBuilder",
+    "MaxMinInstance",
+    "DegreeStatistics",
+    "Solution",
+    "FeasibilityReport",
+    "LPResult",
+    "solve_maxmin_lp",
+    "optimum_value",
+    "best_response_value",
+    "PreprocessResult",
+    "preprocess",
+    "validate_instance",
+    "validation_issues",
+    "require_nondegenerate",
+    "require_special_form",
+    "check_degree_bounds",
+]

@@ -1,0 +1,213 @@
+"""Exact (global, centralized) solution of max-min LPs via :mod:`scipy`.
+
+The max-min LP
+
+.. math::
+
+    \\max \\omega \\quad\\text{s.t.}\\quad A x \\le 1,\\; C x \\ge \\omega 1,\\; x \\ge 0
+
+is an ordinary linear program in the variables ``(x, ω)``.  This module
+reduces it to the standard form expected by :func:`scipy.optimize.linprog`
+(HiGHS backend) using sparse matrices, and wraps the result in library
+objects.
+
+The exact optimum serves two roles in the reproduction:
+
+* it is the denominator of every measured approximation ratio (the paper's
+  guarantees are *relative to the global optimum*, which a local algorithm
+  cannot compute);
+* Lemma 3 states that the tree recursion of §5.2 computes the optimum of the
+  finite tree ``A_u`` — the tests cross-check the recursion against this
+  solver on those trees.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from .._types import NodeId
+from ..exceptions import SolverError
+from .instance import MaxMinInstance
+from .preprocess import preprocess
+from .solution import Solution
+
+__all__ = ["LPResult", "solve_maxmin_lp", "optimum_value", "best_response_value"]
+
+
+class LPResult:
+    """Result of an exact max-min LP solve.
+
+    Attributes
+    ----------
+    optimum:
+        The optimal utility ``ω*`` (``0.0`` for instances whose optimum is
+        forced to zero, ``math.inf`` for unbounded instances).
+    solution:
+        An optimal :class:`Solution` (for unbounded instances, a finite
+        witness achieving at least the requested ``unbounded_target``).
+    status:
+        ``"optimal"``, ``"zero"`` or ``"unbounded"``.
+    """
+
+    __slots__ = ("optimum", "solution", "status")
+
+    def __init__(self, optimum: float, solution: Solution, status: str) -> None:
+        self.optimum = optimum
+        self.solution = solution
+        self.status = status
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LPResult(optimum={self.optimum:.6g}, status={self.status!r})"
+
+
+def _solve_clean(instance: MaxMinInstance, method: str) -> LPResult:
+    """Solve a non-degenerate instance (every node has positive degree)."""
+    agents = instance.agents
+    n = len(agents)
+    agent_index: Dict[NodeId, int] = {v: idx for idx, v in enumerate(agents)}
+
+    n_con = instance.num_constraints
+    n_obj = instance.num_objectives
+
+    if n == 0 or n_obj == 0:
+        # No variables or no objectives: handled by callers; be defensive.
+        zero = Solution(instance, {v: 0.0 for v in agents}, label="lp-zero")
+        return LPResult(math.inf if n_obj == 0 else 0.0, zero, "unbounded" if n_obj == 0 else "zero")
+
+    rows = []
+    cols = []
+    data = []
+
+    # Packing rows:  Σ a_iv x_v ≤ 1
+    for r, i in enumerate(instance.constraints):
+        for v in instance.agents_of_constraint(i):
+            rows.append(r)
+            cols.append(agent_index[v])
+            data.append(instance.a(i, v))
+
+    # Covering rows:  ω − Σ c_kv x_v ≤ 0
+    for r, k in enumerate(instance.objectives):
+        row = n_con + r
+        for v in instance.agents_of_objective(k):
+            rows.append(row)
+            cols.append(agent_index[v])
+            data.append(-instance.c(k, v))
+        rows.append(row)
+        cols.append(n)  # the ω column
+        data.append(1.0)
+
+    a_ub = sparse.csr_matrix(
+        (np.asarray(data, dtype=float), (np.asarray(rows), np.asarray(cols))),
+        shape=(n_con + n_obj, n + 1),
+    )
+    b_ub = np.concatenate([np.ones(n_con), np.zeros(n_obj)])
+
+    cost = np.zeros(n + 1)
+    cost[n] = -1.0  # maximise ω
+
+    bounds = [(0.0, None)] * (n + 1)
+
+    result = linprog(cost, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method=method)
+    if not result.success:
+        raise SolverError(
+            f"linprog failed on instance {instance.name!r}: status={result.status}, "
+            f"message={result.message!r}"
+        )
+
+    omega = float(result.x[n])
+    values = {v: float(result.x[agent_index[v]]) for v in agents}
+    solution = Solution(instance, values, label="lp-optimum").clipped_nonnegative()
+    return LPResult(omega, solution, "optimal")
+
+
+def solve_maxmin_lp(
+    instance: MaxMinInstance,
+    *,
+    method: str = "highs",
+    split_components: bool = False,
+    unbounded_target: float = 1.0,
+) -> LPResult:
+    """Compute the exact optimum of a max-min LP.
+
+    Degenerate instances are handled according to §4 of the paper (isolated
+    objectives force optimum 0; instances whose every objective contains an
+    unconstrained agent are unbounded).
+
+    Parameters
+    ----------
+    instance:
+        The instance to solve.
+    method:
+        ``scipy.optimize.linprog`` method (default HiGHS).
+    split_components:
+        If true, solve each connected component separately and combine; this
+        keeps the individual LPs small on large, loosely connected networks.
+    unbounded_target:
+        For unbounded instances, the returned witness solution achieves at
+        least this utility.
+    """
+    pre = preprocess(instance)
+
+    if pre.optimum_is_zero:
+        return LPResult(0.0, pre.zero_solution(label="lp-zero"), "zero")
+
+    if pre.optimum_is_unbounded:
+        witness = pre.lift(
+            Solution(pre.instance, {v: 0.0 for v in pre.instance.agents}, label="lp-unbounded"),
+            target_utility=unbounded_target,
+        )
+        return LPResult(math.inf, witness, "unbounded")
+
+    clean = pre.instance
+
+    if split_components:
+        components = clean.connected_components()
+        if len(components) > 1:
+            optimum = math.inf
+            values: Dict[NodeId, float] = {}
+            for comp in components:
+                sub = _solve_clean(comp, method)
+                optimum = min(optimum, sub.optimum)
+                values.update(sub.solution.as_dict())
+            combined = Solution(clean, values, label="lp-optimum")
+            lifted = pre.lift(combined, label="lp-optimum") if pre.changed else combined
+            return LPResult(optimum, lifted, "optimal")
+
+    result = _solve_clean(clean, method)
+    if pre.changed:
+        lifted = pre.lift(result.solution, label="lp-optimum")
+        return LPResult(result.optimum, lifted, "optimal")
+    return result
+
+
+def optimum_value(instance: MaxMinInstance, **kwargs: object) -> float:
+    """Convenience wrapper returning only the optimal utility."""
+    return solve_maxmin_lp(instance, **kwargs).optimum  # type: ignore[arg-type]
+
+
+def best_response_value(
+    instance: MaxMinInstance,
+    fixed: Dict[NodeId, float],
+    free_agent: NodeId,
+) -> float:
+    """Largest feasible value of ``x_v`` for one agent, all others fixed.
+
+    ``min_{i ∈ I_v} (1 − Σ_{w ≠ v} a_iw x_w) / a_iv`` clipped at 0; ``inf``
+    when the agent has no constraints.  Used by the safe baseline tests and
+    by the lower-bound experiment.
+    """
+    best = math.inf
+    for i in instance.constraints_of_agent(free_agent):
+        load = sum(
+            instance.a(i, w) * fixed.get(w, 0.0)
+            for w in instance.agents_of_constraint(i)
+            if w != free_agent
+        )
+        cap = (1.0 - load) / instance.a(i, free_agent)
+        best = min(best, cap)
+    return max(best, 0.0)

@@ -1,0 +1,267 @@
+"""Degenerate-case preprocessing (paper §4, opening remarks).
+
+The transformations and the local algorithm assume a *non-degenerate*
+instance: every constraint and objective touches at least one agent, and
+every agent touches at least one constraint and at least one objective.
+The paper dispenses with the degenerate cases in one sentence:
+
+    "isolated constraints can be deleted, isolated objectives force the
+    optimum to zero, non-contributing agents can be set to zero, and
+    unconstrained agents can be set to +∞"
+
+This module turns that sentence into code.  :func:`preprocess` returns a
+cleaned instance together with a :class:`PreprocessResult` that remembers
+what was removed and can lift a solution of the cleaned instance back to the
+original one.
+
+Notes on the individual cases
+-----------------------------
+* *Isolated constraints* (no agents): trivially satisfied; removed.
+* *Isolated objectives* (no agents): their value is always 0, so the optimum
+  of the whole instance is 0.  The result is flagged ``optimum_is_zero`` and
+  the cleaned instance keeps only the structure needed to emit an all-zero
+  solution.
+* *Non-contributing agents* (no objectives): setting them to 0 never hurts;
+  they are removed and remembered in ``forced_zero_agents``.
+* *Unconstrained agents* (no constraints): they can be made arbitrarily
+  large, hence any objective containing one can reach any target value and
+  never binds.  Such objectives are removed; when lifting, the unconstrained
+  agents are assigned a value large enough to push the removed objectives to
+  the utility of the lifted solution (or any requested target).
+* Removal can cascade (an agent whose only objective was removed becomes
+  non-contributing), so the cleanup iterates to a fixed point.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+from .._types import NodeId
+from ..exceptions import DegenerateInstanceError
+from .instance import MaxMinInstance
+from .solution import Solution
+
+__all__ = ["PreprocessResult", "preprocess"]
+
+
+class PreprocessResult:
+    """Outcome of :func:`preprocess`.
+
+    Attributes
+    ----------
+    original:
+        The instance that was preprocessed.
+    instance:
+        The cleaned (non-degenerate) instance.  May have zero agents when the
+        optimum is zero or unbounded.
+    forced_zero_agents:
+        Agents removed because they contribute to no (surviving) objective;
+        they are set to 0 when lifting.
+    unconstrained_agents:
+        Agents removed because they have no constraints; they are set to a
+        sufficiently large finite value when lifting.
+    removed_constraints / removed_objectives:
+        Constraint / objective ids dropped during cleaning.
+    optimum_is_zero:
+        True when an isolated objective forces the optimum to 0.
+    optimum_is_unbounded:
+        True when *every* objective can be made arbitrarily large (so the
+        max-min value is unbounded above).
+    """
+
+    __slots__ = (
+        "original",
+        "instance",
+        "forced_zero_agents",
+        "unconstrained_agents",
+        "removed_constraints",
+        "removed_objectives",
+        "optimum_is_zero",
+        "optimum_is_unbounded",
+    )
+
+    def __init__(
+        self,
+        original: MaxMinInstance,
+        instance: MaxMinInstance,
+        forced_zero_agents: Tuple[NodeId, ...],
+        unconstrained_agents: Tuple[NodeId, ...],
+        removed_constraints: Tuple[NodeId, ...],
+        removed_objectives: Tuple[NodeId, ...],
+        optimum_is_zero: bool,
+        optimum_is_unbounded: bool,
+    ) -> None:
+        self.original = original
+        self.instance = instance
+        self.forced_zero_agents = forced_zero_agents
+        self.unconstrained_agents = unconstrained_agents
+        self.removed_constraints = removed_constraints
+        self.removed_objectives = removed_objectives
+        self.optimum_is_zero = optimum_is_zero
+        self.optimum_is_unbounded = optimum_is_unbounded
+
+    @property
+    def changed(self) -> bool:
+        """True if preprocessing modified the instance at all."""
+        return (
+            bool(self.forced_zero_agents)
+            or bool(self.unconstrained_agents)
+            or bool(self.removed_constraints)
+            or bool(self.removed_objectives)
+        )
+
+    def lift(
+        self,
+        solution: Solution,
+        target_utility: Optional[float] = None,
+        label: Optional[str] = None,
+    ) -> Solution:
+        """Lift a solution of the cleaned instance back to the original one.
+
+        Forced-zero agents get 0; unconstrained agents get a value large
+        enough that every removed objective reaches ``target_utility``
+        (default: the utility of ``solution`` itself, or 0 when that is not
+        finite).  The lifted solution is feasible whenever ``solution`` is,
+        and its utility is ``min(utility(solution), target_utility)`` which
+        equals ``utility(solution)`` for the default target.
+        """
+        if solution.instance != self.instance:
+            raise DegenerateInstanceError("lift() expects a solution of the cleaned instance")
+
+        values: Dict[NodeId, float] = {v: 0.0 for v in self.original.agents}
+        for v in self.instance.agents:
+            values[v] = solution[v]
+        for v in self.forced_zero_agents:
+            values[v] = 0.0
+
+        if target_utility is None:
+            util = solution.utility()
+            target_utility = util if math.isfinite(util) else 0.0
+
+        # Every removed objective contains at least one unconstrained agent
+        # (that is why it was removed); give that agent enough value.
+        unconstrained = set(self.unconstrained_agents)
+        for k in self.removed_objectives:
+            members = self.original.agents_of_objective(k)
+            carriers = [v for v in members if v in unconstrained]
+            if not carriers:
+                # Objective removed because it became isolated after its
+                # agents were removed; it forces optimum zero, nothing to do.
+                continue
+            current = sum(self.original.c(k, v) * values[v] for v in members)
+            deficit = target_utility - current
+            if deficit > 0.0:
+                carrier = carriers[0]
+                values[carrier] = max(values[carrier], values[carrier] + deficit / self.original.c(k, carrier))
+
+        return Solution(self.original, values, label=label or f"{solution.label}+lifted")
+
+    def zero_solution(self, label: str = "zero") -> Solution:
+        """The all-zero solution of the original instance."""
+        return Solution(self.original, {v: 0.0 for v in self.original.agents}, label=label)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PreprocessResult(changed={self.changed}, zero={self.optimum_is_zero}, "
+            f"unbounded={self.optimum_is_unbounded}, "
+            f"removed_constraints={len(self.removed_constraints)}, "
+            f"removed_objectives={len(self.removed_objectives)})"
+        )
+
+
+def preprocess(instance: MaxMinInstance) -> PreprocessResult:
+    """Remove degenerate structure from an instance (see module docstring)."""
+    agents: Set[NodeId] = set(instance.agents)
+    constraints: Set[NodeId] = set(instance.constraints)
+    objectives: Set[NodeId] = set(instance.objectives)
+
+    forced_zero: List[NodeId] = []
+    unconstrained: List[NodeId] = []
+    removed_constraints: List[NodeId] = []
+    removed_objectives: List[NodeId] = []
+    optimum_is_zero = False
+
+    # Isolated objectives in the *original* instance force the optimum to 0.
+    for k in instance.objectives:
+        if not instance.agents_of_objective(k):
+            optimum_is_zero = True
+
+    changed = True
+    while changed:
+        changed = False
+
+        # Constraints with no surviving agents are trivially satisfied.
+        for i in list(constraints):
+            members = [v for v in instance.agents_of_constraint(i) if v in agents]
+            if not members:
+                constraints.discard(i)
+                removed_constraints.append(i)
+                changed = True
+
+        # Unconstrained agents: every objective containing one never binds.
+        for v in list(agents):
+            live_constraints = [i for i in instance.constraints_of_agent(v) if i in constraints]
+            if not live_constraints:
+                agents.discard(v)
+                unconstrained.append(v)
+                for k in instance.objectives_of_agent(v):
+                    if k in objectives:
+                        objectives.discard(k)
+                        removed_objectives.append(k)
+                changed = True
+
+        # Objectives that lost all their agents (but had some originally)
+        # would force the optimum to 0 — unless they were removed above
+        # because an unconstrained agent can satisfy them.
+        for k in list(objectives):
+            members = [v for v in instance.agents_of_objective(k) if v in agents]
+            originally_empty = not instance.agents_of_objective(k)
+            if not members:
+                objectives.discard(k)
+                removed_objectives.append(k)
+                if not originally_empty:
+                    # All its agents were forced to zero: the objective value
+                    # is stuck at 0, hence the optimum is 0.
+                    survivors_were_zeroed = any(
+                        v in set(forced_zero) for v in instance.agents_of_objective(k)
+                    )
+                    unconstrained_members = any(
+                        v in set(unconstrained) for v in instance.agents_of_objective(k)
+                    )
+                    if survivors_were_zeroed and not unconstrained_members:
+                        optimum_is_zero = True
+                if originally_empty:
+                    optimum_is_zero = True
+                changed = True
+
+        # Non-contributing agents: no surviving objective.
+        for v in list(agents):
+            live_objectives = [k for k in instance.objectives_of_agent(v) if k in objectives]
+            if not live_objectives:
+                agents.discard(v)
+                forced_zero.append(v)
+                changed = True
+
+    optimum_is_unbounded = not optimum_is_zero and not objectives and bool(instance.objectives)
+    if not instance.objectives:
+        # No objectives at all: the max-min value is vacuously unbounded.
+        optimum_is_unbounded = True
+
+    cleaned = instance.sub_instance(
+        [v for v in instance.agents if v in agents],
+        [i for i in instance.constraints if i in constraints],
+        [k for k in instance.objectives if k in objectives],
+        name=f"{instance.name}#clean",
+    )
+
+    return PreprocessResult(
+        original=instance,
+        instance=cleaned,
+        forced_zero_agents=tuple(forced_zero),
+        unconstrained_agents=tuple(unconstrained),
+        removed_constraints=tuple(removed_constraints),
+        removed_objectives=tuple(removed_objectives),
+        optimum_is_zero=optimum_is_zero,
+        optimum_is_unbounded=optimum_is_unbounded,
+    )

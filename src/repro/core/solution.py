@@ -1,0 +1,233 @@
+"""Solution objects: assignments of values to agents plus evaluation helpers.
+
+A solution of a max-min LP is a non-negative vector ``x`` indexed by agents.
+Its *utility* is ``ω(x) = min_k Σ_{v ∈ V_k} c_kv x_v``; it is *feasible* when
+``Σ_{v ∈ V_i} a_iv x_v ≤ 1`` for every constraint ``i`` (up to a tolerance,
+since the algorithms work in floating point).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from .._types import DEFAULT_FEASIBILITY_TOL, NodeId, ValueMap
+from ..exceptions import InfeasibleSolutionError, InvalidInstanceError
+from .instance import MaxMinInstance
+
+__all__ = ["Solution", "FeasibilityReport"]
+
+
+class FeasibilityReport:
+    """Detailed result of a feasibility check.
+
+    Attributes
+    ----------
+    feasible:
+        True if no constraint is violated beyond tolerance and no value is
+        negative beyond tolerance.
+    max_violation:
+        Largest amount by which a constraint exceeds its right-hand side 1
+        (0.0 if none).
+    violated_constraints:
+        Tuple of ``(constraint_id, load)`` pairs for violated constraints.
+    negative_agents:
+        Tuple of ``(agent_id, value)`` pairs with values below ``-tol``.
+    tol:
+        Tolerance that was used.
+    """
+
+    __slots__ = ("feasible", "max_violation", "violated_constraints", "negative_agents", "tol")
+
+    def __init__(
+        self,
+        feasible: bool,
+        max_violation: float,
+        violated_constraints: Tuple[Tuple[NodeId, float], ...],
+        negative_agents: Tuple[Tuple[NodeId, float], ...],
+        tol: float,
+    ) -> None:
+        self.feasible = feasible
+        self.max_violation = max_violation
+        self.violated_constraints = violated_constraints
+        self.negative_agents = negative_agents
+        self.tol = tol
+
+    def __bool__(self) -> bool:
+        return self.feasible
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FeasibilityReport(feasible={self.feasible}, "
+            f"max_violation={self.max_violation:.3e}, "
+            f"violations={len(self.violated_constraints)})"
+        )
+
+
+class Solution:
+    """A (candidate) solution of a max-min LP instance.
+
+    Parameters
+    ----------
+    instance:
+        The instance the solution refers to.
+    values:
+        Mapping from agent id to value.  Missing agents default to 0.0;
+        unknown agents raise :class:`InvalidInstanceError`.
+    label:
+        Optional provenance label (e.g. ``"local-R3"``, ``"lp-optimum"``).
+    """
+
+    __slots__ = ("instance", "_values", "label")
+
+    def __init__(
+        self,
+        instance: MaxMinInstance,
+        values: Mapping[NodeId, float],
+        label: str = "solution",
+    ) -> None:
+        self.instance = instance
+        self.label = label
+        vals: Dict[NodeId, float] = {}
+        for v, x in values.items():
+            if not instance.has_agent(v):
+                raise InvalidInstanceError(f"solution refers to unknown agent {v!r}")
+            vals[v] = float(x)
+        for v in instance.agents:
+            vals.setdefault(v, 0.0)
+        self._values = vals
+
+    # ------------------------------------------------------------------
+    # Value access
+    # ------------------------------------------------------------------
+    def __getitem__(self, v: NodeId) -> float:
+        return self._values[v]
+
+    def get(self, v: NodeId, default: float = 0.0) -> float:
+        return self._values.get(v, default)
+
+    def as_dict(self) -> ValueMap:
+        """A copy of the value mapping."""
+        return dict(self._values)
+
+    def __iter__(self):
+        return iter(self.instance.agents)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def constraint_load(self, i: NodeId) -> float:
+        """``Σ_{v ∈ V_i} a_iv x_v`` for constraint ``i``."""
+        inst = self.instance
+        return sum(inst.a(i, v) * self._values[v] for v in inst.agents_of_constraint(i))
+
+    def constraint_slack(self, i: NodeId) -> float:
+        """``1 − load(i)`` (negative when violated)."""
+        return 1.0 - self.constraint_load(i)
+
+    def objective_value(self, k: NodeId) -> float:
+        """``ω_k(x) = Σ_{v ∈ V_k} c_kv x_v`` for objective ``k``."""
+        inst = self.instance
+        return sum(inst.c(k, v) * self._values[v] for v in inst.agents_of_objective(k))
+
+    def objective_values(self) -> Dict[NodeId, float]:
+        """All objective values keyed by objective id."""
+        return {k: self.objective_value(k) for k in self.instance.objectives}
+
+    def utility(self) -> float:
+        """``ω(x) = min_k ω_k(x)``; ``inf`` when the instance has no objective."""
+        if not self.instance.objectives:
+            return math.inf
+        return min(self.objective_value(k) for k in self.instance.objectives)
+
+    def bottleneck_objectives(self, tol: float = 1e-9) -> Tuple[NodeId, ...]:
+        """The objectives attaining the minimum utility (within ``tol``)."""
+        if not self.instance.objectives:
+            return ()
+        vals = self.objective_values()
+        best = min(vals.values())
+        return tuple(k for k, val in vals.items() if val <= best + tol)
+
+    def check_feasibility(self, tol: float = DEFAULT_FEASIBILITY_TOL) -> FeasibilityReport:
+        """Check non-negativity and every packing constraint."""
+        violated = []
+        max_violation = 0.0
+        for i in self.instance.constraints:
+            load = self.constraint_load(i)
+            if load > 1.0 + tol:
+                violated.append((i, load))
+                max_violation = max(max_violation, load - 1.0)
+        negative = tuple(
+            (v, x) for v, x in self._values.items() if x < -tol
+        )
+        feasible = not violated and not negative
+        return FeasibilityReport(
+            feasible=feasible,
+            max_violation=max_violation,
+            violated_constraints=tuple(violated),
+            negative_agents=negative,
+            tol=tol,
+        )
+
+    def is_feasible(self, tol: float = DEFAULT_FEASIBILITY_TOL) -> bool:
+        """Shorthand for ``check_feasibility(tol).feasible``."""
+        return self.check_feasibility(tol).feasible
+
+    def require_feasible(self, tol: float = DEFAULT_FEASIBILITY_TOL) -> "Solution":
+        """Raise :class:`InfeasibleSolutionError` unless feasible; returns self."""
+        report = self.check_feasibility(tol)
+        if not report.feasible:
+            raise InfeasibleSolutionError(
+                f"solution {self.label!r} infeasible: max violation {report.max_violation:.3e}, "
+                f"{len(report.violated_constraints)} constraint(s) violated, "
+                f"{len(report.negative_agents)} negative value(s)"
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # Arithmetic helpers (used by the shifting / averaging analysis)
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float, label: Optional[str] = None) -> "Solution":
+        """Return ``factor · x`` as a new solution."""
+        return Solution(
+            self.instance,
+            {v: factor * x for v, x in self._values.items()},
+            label=label or f"{self.label}*{factor:g}",
+        )
+
+    @staticmethod
+    def average(solutions: Iterable["Solution"], label: str = "average") -> "Solution":
+        """Pointwise average of several solutions over the same instance.
+
+        Feasibility is preserved because the feasible region is convex.
+        """
+        sols = list(solutions)
+        if not sols:
+            raise InvalidInstanceError("cannot average an empty collection of solutions")
+        inst = sols[0].instance
+        for s in sols[1:]:
+            if s.instance is not inst and s.instance != inst:
+                raise InvalidInstanceError("cannot average solutions of different instances")
+        n = len(sols)
+        values = {
+            v: sum(s[v] for s in sols) / n for v in inst.agents
+        }
+        return Solution(inst, values, label=label)
+
+    def clipped_nonnegative(self, label: Optional[str] = None) -> "Solution":
+        """Return a copy with tiny negative values (from round-off) set to 0."""
+        return Solution(
+            self.instance,
+            {v: (x if x > 0.0 else 0.0) for v, x in self._values.items()},
+            label=label or self.label,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        try:
+            util = self.utility()
+        except Exception:  # noqa: BLE001 - repr must not raise
+            util = float("nan")
+        return f"Solution(label={self.label!r}, utility={util:.6g}, n={len(self._values)})"

@@ -1,0 +1,121 @@
+"""Validation utilities for max-min LP instances.
+
+:class:`~repro.core.instance.MaxMinInstance` already enforces *structural*
+well-formedness (positive coefficients, declared nodes, no duplicates).  The
+functions in this module check the *semantic* requirements of the different
+algorithms in the library:
+
+* non-degeneracy (paper §4, opening remarks);
+* declared degree bounds ``ΔI``, ``ΔK``;
+* the special form required by the §5 algorithm;
+* connectivity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..exceptions import DegenerateInstanceError, InvalidInstanceError, NotSpecialFormError
+from .instance import MaxMinInstance
+
+__all__ = [
+    "validation_issues",
+    "validate_instance",
+    "require_nondegenerate",
+    "require_special_form",
+    "check_degree_bounds",
+]
+
+
+def validation_issues(
+    instance: MaxMinInstance,
+    *,
+    require_connected: bool = False,
+    require_nondegenerate: bool = False,
+    max_delta_I: Optional[int] = None,
+    max_delta_K: Optional[int] = None,
+) -> List[str]:
+    """Return a list of human-readable validation problems (empty if valid).
+
+    Parameters
+    ----------
+    instance:
+        The instance to check.
+    require_connected:
+        If true, report a problem when the communication graph is not
+        connected.
+    require_nondegenerate:
+        If true, report degree-0 nodes (isolated constraints / objectives,
+        non-contributing or unconstrained agents).
+    max_delta_I, max_delta_K:
+        Optional declared degree bounds; exceeding them is reported.
+    """
+    issues: List[str] = []
+
+    if instance.num_agents == 0:
+        issues.append("instance has no agents")
+
+    if require_nondegenerate:
+        for category, nodes in instance.degeneracies().items():
+            issues.append(f"{category}: {sorted(map(repr, nodes))}")
+
+    if max_delta_I is not None and instance.delta_I > max_delta_I:
+        issues.append(
+            f"constraint degree {instance.delta_I} exceeds declared bound delta_I={max_delta_I}"
+        )
+    if max_delta_K is not None and instance.delta_K > max_delta_K:
+        issues.append(
+            f"objective degree {instance.delta_K} exceeds declared bound delta_K={max_delta_K}"
+        )
+
+    if require_connected and not instance.is_connected():
+        issues.append("communication graph is not connected")
+
+    return issues
+
+
+def validate_instance(
+    instance: MaxMinInstance,
+    *,
+    require_connected: bool = False,
+    require_nondegenerate: bool = False,
+    max_delta_I: Optional[int] = None,
+    max_delta_K: Optional[int] = None,
+) -> None:
+    """Raise :class:`InvalidInstanceError` when :func:`validation_issues` is non-empty."""
+    issues = validation_issues(
+        instance,
+        require_connected=require_connected,
+        require_nondegenerate=require_nondegenerate,
+        max_delta_I=max_delta_I,
+        max_delta_K=max_delta_K,
+    )
+    if issues:
+        raise InvalidInstanceError(
+            f"instance {instance.name!r} failed validation:\n  - " + "\n  - ".join(issues)
+        )
+
+
+def require_nondegenerate(instance: MaxMinInstance) -> None:
+    """Raise :class:`DegenerateInstanceError` if the instance has degree-0 nodes."""
+    degeneracies = instance.degeneracies()
+    if degeneracies:
+        details = "; ".join(f"{cat}={sorted(map(repr, nodes))}" for cat, nodes in degeneracies.items())
+        raise DegenerateInstanceError(
+            f"instance {instance.name!r} is degenerate ({details}); "
+            "run repro.core.preprocess.preprocess() first"
+        )
+
+
+def require_special_form(instance: MaxMinInstance, tol: float = 1e-12) -> None:
+    """Raise :class:`NotSpecialFormError` unless the §5 preconditions hold."""
+    problems = instance.special_form_violations(tol)
+    if problems:
+        raise NotSpecialFormError(
+            f"instance {instance.name!r} is not in special form:\n  - " + "\n  - ".join(problems[:20])
+        )
+
+
+def check_degree_bounds(instance: MaxMinInstance, delta_I: int, delta_K: int) -> bool:
+    """True if ``|V_i| ≤ delta_I`` and ``|V_k| ≤ delta_K`` everywhere."""
+    return instance.delta_I <= delta_I and instance.delta_K <= delta_K

@@ -1,0 +1,53 @@
+"""Synchronous message-passing substrate and distributed protocols.
+
+This subpackage is the "systems" half of the reproduction: it simulates the
+model of computation of paper §1.2 (synchronous rounds, port numbering, no
+node identifiers) faithfully enough that round counts, message counts and
+locality radii are meaningful measurements, and implements the paper's
+algorithm — plus the safe baseline — as actual protocols on that substrate.
+"""
+
+from .agents import (
+    DistributedLocalSolver,
+    MaxMinAgentNode,
+    MaxMinConstraintNode,
+    MaxMinObjectiveNode,
+    PhaseSchedule,
+    maxmin_node_factory,
+)
+from .dynamics import ChangeImpact, changed_sites, local_horizon_radius, measure_change_impact
+from .local_view import ViewTree, view_feasible_omega, view_tree_optimum
+from .message import Message, message_size_bytes
+from .network import CommunicationNetwork, build_network
+from .node import LocalInput, ProtocolNode
+from .port_numbering import PortNumbering
+from .runtime import RoundStatistics, RunResult, SynchronousRuntime
+from .safe_agents import DistributedSafeSolver, SAFE_ALGORITHM_ROUNDS
+
+__all__ = [
+    "Message",
+    "message_size_bytes",
+    "PortNumbering",
+    "LocalInput",
+    "ProtocolNode",
+    "CommunicationNetwork",
+    "build_network",
+    "SynchronousRuntime",
+    "RunResult",
+    "RoundStatistics",
+    "ViewTree",
+    "view_tree_optimum",
+    "view_feasible_omega",
+    "PhaseSchedule",
+    "MaxMinAgentNode",
+    "MaxMinConstraintNode",
+    "MaxMinObjectiveNode",
+    "maxmin_node_factory",
+    "DistributedLocalSolver",
+    "DistributedSafeSolver",
+    "SAFE_ALGORITHM_ROUNDS",
+    "ChangeImpact",
+    "changed_sites",
+    "measure_change_impact",
+    "local_horizon_radius",
+]

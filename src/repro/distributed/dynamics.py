@@ -1,0 +1,143 @@
+"""Locality as a dynamic-graph property.
+
+A local algorithm with horizon ``D`` is automatically a dynamic graph
+algorithm: when the input changes at one node, only the outputs within
+distance ``D`` of the change can be affected (paper §1.3).  This module
+provides the utilities to *measure* that property: find where two instances
+differ, re-run a solver on both, and report how far from the change any
+output actually moved.  Experiment E5 and the ``dynamic_network`` example use
+it; the tests assert that no output changes outside the algorithm's horizon.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from .._types import GraphNode, NodeId, agent_node
+from ..core.instance import MaxMinInstance
+from ..core.solution import Solution
+from ..exceptions import SimulationError
+
+__all__ = ["ChangeImpact", "changed_sites", "measure_change_impact", "local_horizon_radius"]
+
+
+def local_horizon_radius(R: int) -> int:
+    """Graph-distance radius within which the output of the §5 algorithm may depend on the input.
+
+    The distributed protocol runs ``12r + 7`` rounds, but information only
+    has to travel along the three phases: view gathering (``4r + 2``),
+    smoothing (``4r + 2``) and the ``g`` exchanges (``4r + 2`` edge hops).
+    An input change at distance larger than the sum cannot influence an
+    agent's output.
+    """
+    r = R - 2
+    return 3 * (4 * r + 2)
+
+
+def changed_sites(before: MaxMinInstance, after: MaxMinInstance) -> Set[GraphNode]:
+    """Graph nodes incident to any structural or coefficient difference."""
+    sites: Set[GraphNode] = set()
+
+    before_a = before.a_coefficients
+    after_a = after.a_coefficients
+    for key in set(before_a) | set(after_a):
+        if before_a.get(key) != after_a.get(key):
+            i, v = key
+            sites.add(agent_node(v))
+    before_c = before.c_coefficients
+    after_c = after.c_coefficients
+    for key in set(before_c) | set(after_c):
+        if before_c.get(key) != after_c.get(key):
+            k, v = key
+            sites.add(agent_node(v))
+
+    for v in set(before.agents) ^ set(after.agents):
+        sites.add(agent_node(v))
+    return sites
+
+
+class ChangeImpact:
+    """How far the effect of a local input change travelled.
+
+    Attributes
+    ----------
+    changed_agents:
+        Agents whose output differs (beyond ``tol``) between the two runs.
+    max_distance:
+        Largest graph distance from any changed agent to the nearest change
+        site (0 when no output changed).
+    horizon:
+        The radius the algorithm is allowed to look at; locality demands
+        ``max_distance ≤ horizon``.
+    """
+
+    __slots__ = ("changed_agents", "max_distance", "horizon", "distances")
+
+    def __init__(
+        self,
+        changed_agents: Tuple[NodeId, ...],
+        max_distance: int,
+        horizon: int,
+        distances: Dict[NodeId, int],
+    ) -> None:
+        self.changed_agents = changed_agents
+        self.max_distance = max_distance
+        self.horizon = horizon
+        self.distances = distances
+
+    @property
+    def is_local(self) -> bool:
+        """True when every affected agent lies within the declared horizon."""
+        return self.max_distance <= self.horizon
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ChangeImpact(changed={len(self.changed_agents)}, "
+            f"max_distance={self.max_distance}, horizon={self.horizon}, local={self.is_local})"
+        )
+
+
+def measure_change_impact(
+    before: MaxMinInstance,
+    after: MaxMinInstance,
+    solver: Callable[[MaxMinInstance], Solution],
+    horizon: int,
+    tol: float = 1e-9,
+) -> ChangeImpact:
+    """Run ``solver`` on both instances and measure how far outputs moved.
+
+    ``solver`` must be a deterministic function returning a
+    :class:`Solution`; agents present in only one instance are ignored.
+    """
+    sites = changed_sites(before, after)
+    if not sites:
+        raise SimulationError("the two instances are identical; nothing to measure")
+
+    solution_before = solver(before)
+    solution_after = solver(after)
+
+    common_agents = [v for v in before.agents if after.has_agent(v)]
+    changed: List[NodeId] = [
+        v
+        for v in common_agents
+        if abs(solution_before[v] - solution_after[v]) > tol
+    ]
+
+    graph = after.communication_graph()
+    for node in before.communication_graph().nodes:
+        if node not in graph:
+            graph.add_node(node)
+
+    distances: Dict[NodeId, int] = {}
+    max_distance = 0
+    if changed:
+        # Multi-source BFS from every change site.
+        lengths = nx.multi_source_dijkstra_path_length(graph, [s for s in sites if s in graph])
+        for v in changed:
+            dist = int(lengths.get(agent_node(v), len(graph)))
+            distances[v] = dist
+            max_distance = max(max_distance, dist)
+
+    return ChangeImpact(tuple(changed), max_distance, horizon, distances)

@@ -1,0 +1,252 @@
+"""Anonymous local views (unfoldings) gathered by message passing.
+
+In the port-numbering model a node can learn, in ``D`` rounds, exactly the
+radius-``D`` *view tree*: its own local input, plus (recursively) the views
+its neighbours had one round earlier, labelled by the port the information
+arrived on and the port on the neighbour's side of that edge.  This is the
+standard view construction for anonymous networks (Angluin 1980; Yamashita &
+Kameda 1996, both cited by the paper) and is precisely the unfolding of §3:
+no node identifiers are ever exchanged.
+
+The distributed realisation of the algorithm uses views for a single
+purpose: after ``4r + 2`` rounds each agent holds a deep enough view to run
+the ``f±`` recursion of §5.2 on its alternating tree ``A_u`` and hence to
+compute ``t_u`` by local binary search.  The functions at the bottom of this
+module evaluate that recursion directly on a view tree.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from .._types import NodeType
+from ..exceptions import SimulationError
+from .node import LocalInput
+
+__all__ = [
+    "ViewTree",
+    "view_feasible_omega",
+    "view_tree_optimum",
+    "view_search_upper_limit",
+]
+
+
+class ViewTree:
+    """The radius-``d`` view of one node, as a port-labelled tree.
+
+    Attributes
+    ----------
+    kind:
+        Node type at the root of this view.
+    degree:
+        Degree (number of ports) of the root.
+    port_kinds / port_coefficients:
+        The root's local input (see :class:`LocalInput`).
+    children:
+        Mapping ``port -> (child_view, remote_port)`` where ``child_view`` is
+        the neighbour's view of depth ``d − 1`` and ``remote_port`` is the
+        port on the *neighbour's* side of the connecting edge (needed to
+        avoid walking straight back during recursion).  Empty for depth-0
+        views.
+    """
+
+    __slots__ = ("kind", "degree", "port_kinds", "port_coefficients", "children")
+
+    def __init__(
+        self,
+        kind: NodeType,
+        degree: int,
+        port_kinds: Dict[int, NodeType],
+        port_coefficients: Dict[int, float],
+        children: Optional[Dict[int, Tuple["ViewTree", int]]] = None,
+    ) -> None:
+        self.kind = kind
+        self.degree = degree
+        self.port_kinds = port_kinds
+        self.port_coefficients = port_coefficients
+        self.children = children or {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def leaf(cls, local_input: LocalInput) -> "ViewTree":
+        """The depth-0 view: just the node's own local input."""
+        return cls(
+            kind=local_input.kind,
+            degree=local_input.degree,
+            port_kinds=dict(local_input.port_kinds),
+            port_coefficients=dict(local_input.port_coefficients),
+        )
+
+    @classmethod
+    def extend(
+        cls,
+        local_input: LocalInput,
+        received: Dict[int, Tuple["ViewTree", int]],
+    ) -> "ViewTree":
+        """Combine the node's local input with the neighbours' previous views."""
+        return cls(
+            kind=local_input.kind,
+            degree=local_input.degree,
+            port_kinds=dict(local_input.port_kinds),
+            port_coefficients=dict(local_input.port_coefficients),
+            children=dict(received),
+        )
+
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        """Depth of the view tree (0 for a bare local input)."""
+        if not self.children:
+            return 0
+        return 1 + max(child.depth() for child, _ in self.children.values())
+
+    def size(self) -> int:
+        """Total number of view-tree nodes."""
+        return 1 + sum(child.size() for child, _ in self.children.values())
+
+    def child(self, port: int) -> Tuple["ViewTree", int]:
+        try:
+            return self.children[port]
+        except KeyError:
+            raise SimulationError(
+                f"view has no child on port {port} (depth too small for the requested recursion)"
+            ) from None
+
+    def constraint_ports(self) -> Tuple[int, ...]:
+        return tuple(p for p, kind in self.port_kinds.items() if kind is NodeType.CONSTRAINT)
+
+    def objective_ports(self) -> Tuple[int, ...]:
+        return tuple(p for p, kind in self.port_kinds.items() if kind is NodeType.OBJECTIVE)
+
+    def capacity(self) -> float:
+        """``min_i 1/a_iv`` from the root's own coefficients (agent views only)."""
+        caps = [1.0 / self.port_coefficients[p] for p in self.constraint_ports()]
+        return min(caps) if caps else math.inf
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ViewTree(kind={self.kind.short}, degree={self.degree}, depth={self.depth()})"
+
+
+# ----------------------------------------------------------------------
+# The f± recursion of §5.2 evaluated on a view tree.
+# ----------------------------------------------------------------------
+def _unique_objective_child(view: ViewTree) -> Tuple[ViewTree, int]:
+    """The (objective view, back-port) below an agent view in special form."""
+    ports = view.objective_ports()
+    if len(ports) != 1:
+        raise SimulationError(
+            f"agent view has {len(ports)} objective ports; the distributed algorithm "
+            "requires the special form (|K_v| = 1)"
+        )
+    return view.child(ports[0])
+
+
+def _f_plus(view: ViewTree, omega: float, d: int) -> float:
+    """``f⁺`` of an agent view reached from an objective (levels ≡ 1 mod 4)."""
+    if d == 0:
+        return view.capacity()
+    best = math.inf
+    for port in view.constraint_ports():
+        constraint_view, back_port = view.child(port)
+        # The degree-2 constraint has exactly one other port.
+        other_ports = [p for p in range(1, constraint_view.degree + 1) if p != back_port]
+        if len(other_ports) != 1:
+            raise SimulationError(
+                "constraint view does not have degree 2; the distributed algorithm "
+                "requires the special form (|V_i| = 2)"
+            )
+        partner_view, partner_back = constraint_view.child(other_ports[0])
+        a_in = partner_view.port_coefficients[partner_back]
+        a_iv = view.port_coefficients[port]
+        candidate = (1.0 - a_in * _f_minus(partner_view, omega, d - 1)) / a_iv
+        if candidate < best:
+            best = candidate
+    return best
+
+
+def _f_minus(view: ViewTree, omega: float, d: int) -> float:
+    """``f⁻`` of an agent view above its objective (levels ≡ 3 mod 4 and the root)."""
+    objective_view, back_port = _unique_objective_child(view)
+    total = 0.0
+    for port in range(1, objective_view.degree + 1):
+        if port == back_port:
+            continue
+        sibling_view, _sibling_back = objective_view.child(port)
+        total += _f_plus(sibling_view, omega, d)
+    return max(0.0, omega - total)
+
+
+def _min_f_plus(view: ViewTree, omega: float, d: int) -> float:
+    """Minimum over all ``f⁺`` values in the recursion rooted at an agent view.
+
+    Mirrors Eq. 8: every ``f⁺_{u,v,d}`` must be non-negative.  We recompute
+    the recursion while tracking the minimum (the trees are small — their
+    size is bounded by a function of Δ and R only).
+    """
+    if d == 0:
+        return view.capacity()
+    best = math.inf
+    for port in view.constraint_ports():
+        constraint_view, back_port = view.child(port)
+        other_ports = [p for p in range(1, constraint_view.degree + 1) if p != back_port]
+        partner_view, _partner_back = constraint_view.child(other_ports[0])
+        objective_view, obj_back = _unique_objective_child(partner_view)
+        for sibling_port in range(1, objective_view.degree + 1):
+            if sibling_port == obj_back:
+                continue
+            sibling_view, _ = objective_view.child(sibling_port)
+            best = min(best, _min_f_plus(sibling_view, omega, d - 1))
+    own = _f_plus(view, omega, d)
+    return min(best, own)
+
+
+def view_feasible_omega(root_view: ViewTree, omega: float, r: int, tol: float = 0.0) -> bool:
+    """Eqs. 8–9 evaluated on the root agent's view (is ``ω`` feasible?)."""
+    # Eq. 9: the root's f⁻ at depth r must fit under its capacity.
+    if _f_minus(root_view, omega, r) > root_view.capacity() + tol:
+        return False
+    # Eq. 8: every f⁺ below the root's objective must be non-negative.
+    objective_view, back_port = _unique_objective_child(root_view)
+    for port in range(1, objective_view.degree + 1):
+        if port == back_port:
+            continue
+        sibling_view, _ = objective_view.child(port)
+        if _min_f_plus(sibling_view, omega, r) < -tol:
+            return False
+    return True
+
+
+def view_search_upper_limit(root_view: ViewTree) -> float:
+    """Upper limit for the ``t_u`` binary search: total capacity of ``V_{k(u)}``."""
+    objective_view, back_port = _unique_objective_child(root_view)
+    total = root_view.capacity()
+    for port in range(1, objective_view.degree + 1):
+        if port == back_port:
+            continue
+        sibling_view, _ = objective_view.child(port)
+        total += sibling_view.capacity()
+    return total
+
+
+def view_tree_optimum(
+    root_view: ViewTree,
+    r: int,
+    tol: float = 1e-10,
+    max_iterations: int = 200,
+) -> float:
+    """``t_u`` by binary search on the view (the paper's practical variant)."""
+    hi = view_search_upper_limit(root_view)
+    if hi <= 0.0:
+        return 0.0
+    if view_feasible_omega(root_view, hi, r):
+        return hi
+    lo = 0.0
+    iterations = 0
+    while hi - lo > tol and iterations < max_iterations:
+        mid = 0.5 * (lo + hi)
+        if view_feasible_omega(root_view, mid, r):
+            lo = mid
+        else:
+            hi = mid
+        iterations += 1
+    return lo

@@ -1,0 +1,49 @@
+"""Messages exchanged in the synchronous message-passing model.
+
+A message is addressed purely by *port*: in the port-numbering model (paper
+§1.2) a node only knows "I send this on my port 3" and the recipient only
+knows "this arrived on my port 1".  The :class:`Message` wrapper carries the
+payload plus a phase tag so that multi-phase protocols can assert they never
+mix up rounds.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Optional
+
+__all__ = ["Message", "message_size_bytes"]
+
+
+class Message:
+    """A single message travelling over one edge in one round.
+
+    Attributes
+    ----------
+    payload:
+        Arbitrary picklable content.
+    phase:
+        Optional protocol-phase tag (e.g. ``"view"``, ``"smooth"``, ``"g"``).
+    """
+
+    __slots__ = ("payload", "phase")
+
+    def __init__(self, payload: Any, phase: Optional[str] = None) -> None:
+        self.payload = payload
+        self.phase = phase
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Message(phase={self.phase!r}, payload={self.payload!r})"
+
+
+def message_size_bytes(message: "Message") -> int:
+    """Approximate wire size of a message (pickle length).
+
+    Only used when the runtime is asked to account for bandwidth; the model
+    itself places no bound on message size (the paper's algorithms ship whole
+    neighbourhood views).
+    """
+    try:
+        return len(pickle.dumps((message.phase, message.payload), protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # noqa: BLE001 - size accounting must never crash a run
+        return len(repr(message.payload))

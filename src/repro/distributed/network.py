@@ -1,0 +1,106 @@
+"""Construction of communication networks from max-min LP instances.
+
+A :class:`CommunicationNetwork` bundles the graph topology, the deterministic
+port numbering and the per-node local inputs (paper §1.1) — everything the
+synchronous runtime needs to run a protocol, and nothing more than what the
+model grants each node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from .._types import GraphNode, NodeType, agent_node, constraint_node, objective_node
+from ..core.instance import MaxMinInstance
+from .node import LocalInput
+from .port_numbering import PortNumbering
+
+__all__ = ["CommunicationNetwork", "build_network"]
+
+
+class CommunicationNetwork:
+    """Topology + port numbering + local inputs for one instance."""
+
+    __slots__ = ("instance", "ports", "local_inputs")
+
+    def __init__(
+        self,
+        instance: MaxMinInstance,
+        ports: PortNumbering,
+        local_inputs: Dict[GraphNode, LocalInput],
+    ) -> None:
+        self.instance = instance
+        self.ports = ports
+        self.local_inputs = local_inputs
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.local_inputs)
+
+    @property
+    def num_edges(self) -> int:
+        return self.instance.num_edges
+
+    def nodes(self) -> Iterator[GraphNode]:
+        return iter(self.local_inputs)
+
+    def agent_nodes(self) -> Tuple[GraphNode, ...]:
+        return tuple(agent_node(v) for v in self.instance.agents)
+
+    def local_input(self, node: GraphNode) -> LocalInput:
+        return self.local_inputs[node]
+
+    def endpoint(self, node: GraphNode, port: int) -> Tuple[GraphNode, int]:
+        """The neighbour reached through ``port`` and the port on its side."""
+        neighbour = self.ports.neighbour_at(node, port)
+        return neighbour, self.ports.port_to(neighbour, node)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CommunicationNetwork(instance={self.instance.name!r}, "
+            f"nodes={self.num_nodes}, edges={self.num_edges})"
+        )
+
+
+def build_network(instance: MaxMinInstance) -> CommunicationNetwork:
+    """Create the communication network of an instance.
+
+    Local inputs follow paper §1.1 exactly:
+
+    * an agent ``v`` knows, per port, whether the neighbour is a constraint
+      or an objective and the coefficient on that edge;
+    * a constraint or objective only knows its degree (its set of incident
+      edges, identified by ports).
+    """
+    ports = PortNumbering(instance)
+    local_inputs: Dict[GraphNode, LocalInput] = {}
+
+    for v in instance.agents:
+        node = agent_node(v)
+        port_kinds: Dict[int, NodeType] = {}
+        port_coefficients: Dict[int, float] = {}
+        for port, neighbour in enumerate(ports.neighbours(node), start=1):
+            kind, name = neighbour
+            port_kinds[port] = kind
+            if kind is NodeType.CONSTRAINT:
+                port_coefficients[port] = instance.a(name, v)
+            else:
+                port_coefficients[port] = instance.c(name, v)
+        local_inputs[node] = LocalInput(NodeType.AGENT, ports.degree(node), port_kinds, port_coefficients)
+
+    for i in instance.constraints:
+        node = constraint_node(i)
+        degree = ports.degree(node)
+        local_inputs[node] = LocalInput(
+            NodeType.CONSTRAINT, degree, {p: NodeType.AGENT for p in ports.ports(node)}, {}
+        )
+
+    for k in instance.objectives:
+        node = objective_node(k)
+        degree = ports.degree(node)
+        local_inputs[node] = LocalInput(
+            NodeType.OBJECTIVE, degree, {p: NodeType.AGENT for p in ports.ports(node)}, {}
+        )
+
+    return CommunicationNetwork(instance, ports, local_inputs)

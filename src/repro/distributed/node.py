@@ -1,0 +1,122 @@
+"""Protocol node base class for the synchronous model (paper §1.2).
+
+During each synchronous round every node, in parallel,
+
+1. performs local computation,
+2. sends one (possibly empty) message to each neighbour, and
+3. receives the messages its neighbours sent in the same round.
+
+A protocol node therefore only implements :meth:`ProtocolNode.compose` (what
+to put on each port this round, given what arrived last round) plus, for
+agents, :meth:`ProtocolNode.output`.  The runtime drives the rounds and
+delivers messages; nodes never see anything but port numbers and their own
+local input.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Optional
+
+from .._types import GraphNode, NodeType
+from .message import Message
+
+__all__ = ["LocalInput", "ProtocolNode"]
+
+
+class LocalInput:
+    """The local input of one node (paper §1.1).
+
+    Attributes
+    ----------
+    kind:
+        Whether the node is an agent, constraint or objective.
+    degree:
+        Number of incident edges (= number of ports).
+    port_kinds:
+        For agents: mapping port → :class:`NodeType` of the neighbour
+        (constraint or objective).  Constraints/objectives only see agents,
+        so the mapping is constant for them.
+    port_coefficients:
+        For agents: mapping port → the coefficient ``a_iv`` or ``c_kv`` on
+        that edge.  Constraints and objectives have no coefficients in their
+        local input (the paper gives them only the incident edge set).
+    """
+
+    __slots__ = ("kind", "degree", "port_kinds", "port_coefficients")
+
+    def __init__(
+        self,
+        kind: NodeType,
+        degree: int,
+        port_kinds: Dict[int, NodeType],
+        port_coefficients: Dict[int, float],
+    ) -> None:
+        self.kind = kind
+        self.degree = degree
+        self.port_kinds = port_kinds
+        self.port_coefficients = port_coefficients
+
+    def constraint_ports(self) -> tuple:
+        """Ports leading to constraints (agents only)."""
+        return tuple(p for p, kind in self.port_kinds.items() if kind is NodeType.CONSTRAINT)
+
+    def objective_ports(self) -> tuple:
+        """Ports leading to objectives (agents only)."""
+        return tuple(p for p, kind in self.port_kinds.items() if kind is NodeType.OBJECTIVE)
+
+    def capacity(self) -> float:
+        """``min_i 1/a_iv`` computed from the local input alone (agents only)."""
+        caps = [1.0 / self.port_coefficients[p] for p in self.constraint_ports()]
+        return min(caps) if caps else float("inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LocalInput(kind={self.kind.short}, degree={self.degree})"
+
+
+class ProtocolNode(abc.ABC):
+    """Base class of every distributed protocol participant.
+
+    Subclasses must not inspect anything beyond :attr:`local_input`, the
+    port-indexed inbox handed to :meth:`compose`, and their own state — in
+    particular not the :attr:`graph_node` identity, which exists only so the
+    runtime can collect outputs (the port-numbering model has no node ids).
+    """
+
+    def __init__(self, graph_node: GraphNode, local_input: LocalInput) -> None:
+        self.graph_node = graph_node
+        self.local_input = local_input
+
+    @property
+    def kind(self) -> NodeType:
+        return self.local_input.kind
+
+    @property
+    def degree(self) -> int:
+        return self.local_input.degree
+
+    @abc.abstractmethod
+    def compose(self, round_number: int, inbox: Dict[int, Message]) -> Dict[int, Message]:
+        """Produce this round's outgoing messages.
+
+        Parameters
+        ----------
+        round_number:
+            1-based round counter.
+        inbox:
+            Messages received at the *end of the previous round*, keyed by the
+            port they arrived on (empty dict in round 1).
+
+        Returns
+        -------
+        Mapping from port to :class:`Message`.  Ports may be omitted (nothing
+        is sent on them this round).
+        """
+
+    def output(self) -> Optional[Any]:
+        """The node's final output (agents return their ``x_v``; others ``None``)."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind, name = self.graph_node
+        return f"{type(self).__name__}({kind.short}:{name!r})"

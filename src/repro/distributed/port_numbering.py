@@ -1,0 +1,92 @@
+"""Port numbering (paper §1.2).
+
+Each node of the communication graph orders its incident edges ``1 … deg``.
+The algorithm of the paper needs nothing more — no globally unique node
+identifiers — and the inapproximability result holds even *with* unique
+identifiers, so simulating the weaker model is the honest choice.
+
+:class:`PortNumbering` assigns ports deterministically from the canonical
+node order of the instance (any assignment would do; determinism makes runs
+reproducible and lets the tests compare centralized and distributed
+executions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .._types import GraphNode, NodeType, agent_node, constraint_node, objective_node
+from ..core.instance import MaxMinInstance
+from ..exceptions import SimulationError
+
+__all__ = ["PortNumbering"]
+
+
+class PortNumbering:
+    """Deterministic port assignment for every node of an instance's graph.
+
+    Ports are numbered ``1 … deg(node)``.  For an agent the constraint ports
+    come first (in canonical constraint order) followed by the objective
+    ports; for constraints and objectives the agent ports follow canonical
+    agent order.  This mirrors the paper's convention in §4.2 where "the last
+    edge" of a node is meaningful.
+    """
+
+    __slots__ = ("_neighbours", "_port_of")
+
+    def __init__(self, instance: MaxMinInstance) -> None:
+        self._neighbours: Dict[GraphNode, Tuple[GraphNode, ...]] = {}
+        self._port_of: Dict[Tuple[GraphNode, GraphNode], int] = {}
+
+        for v in instance.agents:
+            node = agent_node(v)
+            ordered: List[GraphNode] = [constraint_node(i) for i in instance.constraints_of_agent(v)]
+            ordered.extend(objective_node(k) for k in instance.objectives_of_agent(v))
+            self._register(node, ordered)
+        for i in instance.constraints:
+            node = constraint_node(i)
+            self._register(node, [agent_node(v) for v in instance.agents_of_constraint(i)])
+        for k in instance.objectives:
+            node = objective_node(k)
+            self._register(node, [agent_node(v) for v in instance.agents_of_objective(k)])
+
+    def _register(self, node: GraphNode, neighbours: List[GraphNode]) -> None:
+        self._neighbours[node] = tuple(neighbours)
+        for port, neighbour in enumerate(neighbours, start=1):
+            self._port_of[(node, neighbour)] = port
+
+    # ------------------------------------------------------------------
+    def degree(self, node: GraphNode) -> int:
+        return len(self._neighbours[node])
+
+    def neighbours(self, node: GraphNode) -> Tuple[GraphNode, ...]:
+        """Neighbours in port order (index 0 ↔ port 1)."""
+        return self._neighbours[node]
+
+    def neighbour_at(self, node: GraphNode, port: int) -> GraphNode:
+        """The neighbour reached through the given port (1-based)."""
+        try:
+            return self._neighbours[node][port - 1]
+        except IndexError:
+            raise SimulationError(
+                f"node {node[0].short}:{node[1]!r} has no port {port} (degree {self.degree(node)})"
+            ) from None
+
+    def port_to(self, node: GraphNode, neighbour: GraphNode) -> int:
+        """The port of ``node`` that leads to ``neighbour``."""
+        try:
+            return self._port_of[(node, neighbour)]
+        except KeyError:
+            raise SimulationError(
+                f"{node[0].short}:{node[1]!r} is not adjacent to {neighbour[0].short}:{neighbour[1]!r}"
+            ) from None
+
+    def ports(self, node: GraphNode) -> Tuple[int, ...]:
+        """All ports of a node, ``(1, …, deg)``."""
+        return tuple(range(1, self.degree(node) + 1))
+
+    def __contains__(self, node: GraphNode) -> bool:
+        return node in self._neighbours
+
+    def __len__(self) -> int:
+        return len(self._neighbours)

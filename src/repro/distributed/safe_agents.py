@@ -1,0 +1,101 @@
+"""Distributed realisation of the *safe algorithm* baseline.
+
+The safe algorithm (prior work [8, 16]) needs a single exchange: every
+constraint tells its members its degree ``|V_i|``, and every agent outputs
+
+.. math:: x_v = \\min_{i \\in I_v} \\frac{1}{|V_i| \\, a_{iv}}.
+
+Two synchronous rounds therefore suffice — the protocol is mostly useful as
+the baseline for the round/message accounting of experiment E5 and as the
+simplest possible example of a protocol on the runtime.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from .._types import NodeType
+from ..core.instance import MaxMinInstance
+from ..core.solution import Solution
+from ..core.validation import require_nondegenerate
+from ..exceptions import SimulationError
+from .message import Message
+from .network import CommunicationNetwork, build_network
+from .node import LocalInput, ProtocolNode
+from .runtime import RunResult, SynchronousRuntime
+
+__all__ = ["SafeAgentNode", "SafeConstraintNode", "SafeSilentNode", "DistributedSafeSolver"]
+
+#: The safe protocol's local horizon.
+SAFE_ALGORITHM_ROUNDS = 2
+
+
+class SafeConstraintNode(ProtocolNode):
+    """Round 1: announce the constraint degree to every member agent."""
+
+    def compose(self, round_number: int, inbox: Dict[int, Message]) -> Dict[int, Message]:
+        if round_number == 1:
+            return {port: Message(self.degree, phase="safe-degree") for port in range(1, self.degree + 1)}
+        return {}
+
+
+class SafeSilentNode(ProtocolNode):
+    """Objectives take no part in the safe algorithm."""
+
+    def compose(self, round_number: int, inbox: Dict[int, Message]) -> Dict[int, Message]:
+        return {}
+
+
+class SafeAgentNode(ProtocolNode):
+    """Round 2: combine the received degrees with the local coefficients."""
+
+    def __init__(self, graph_node, local_input: LocalInput) -> None:
+        super().__init__(graph_node, local_input)
+        self._output: Optional[float] = None
+
+    def compose(self, round_number: int, inbox: Dict[int, Message]) -> Dict[int, Message]:
+        if round_number == 2:
+            best = math.inf
+            for port in self.local_input.constraint_ports():
+                message = inbox.get(port)
+                if message is None or message.phase != "safe-degree":
+                    raise SimulationError("safe agent did not receive a constraint degree")
+                a_iv = self.local_input.port_coefficients[port]
+                best = min(best, 1.0 / (message.payload * a_iv))
+            self._output = best
+        return {}
+
+    def output(self) -> Optional[float]:
+        return self._output
+
+
+def _safe_node_factory(network: CommunicationNetwork, graph_node) -> ProtocolNode:
+    local_input = network.local_input(graph_node)
+    if local_input.kind is NodeType.AGENT:
+        return SafeAgentNode(graph_node, local_input)
+    if local_input.kind is NodeType.CONSTRAINT:
+        return SafeConstraintNode(graph_node, local_input)
+    return SafeSilentNode(graph_node, local_input)
+
+
+class DistributedSafeSolver:
+    """Run the safe algorithm as a 2-round message-passing protocol."""
+
+    def __init__(self, *, measure_bytes: bool = False) -> None:
+        self.measure_bytes = measure_bytes
+
+    @property
+    def local_horizon(self) -> int:
+        return SAFE_ALGORITHM_ROUNDS
+
+    def solve(self, instance: MaxMinInstance) -> Tuple[Solution, RunResult]:
+        require_nondegenerate(instance)
+        network = build_network(instance)
+        runtime = SynchronousRuntime(network, measure_bytes=self.measure_bytes)
+        result = runtime.run(_safe_node_factory, rounds=SAFE_ALGORITHM_ROUNDS)
+        solution = Solution(instance, result.outputs, label="distributed-safe")
+        return solution, result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "DistributedSafeSolver()"

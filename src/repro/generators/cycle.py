@@ -1,0 +1,98 @@
+"""Cycle-structured instances.
+
+A *special-form cycle* with ``m`` segments has ``2m`` agents arranged in a
+ring, alternating degree-2 constraints and degree-2 objectives:
+
+.. math::  v_0 \\;–\\; i_0 \\;–\\; v_1 \\;–\\; k_0 \\;–\\; v_2 \\;–\\; i_1 \\;–\\; v_3 \\;–\\; k_1 \\;–\\; \\dots
+
+These are the smallest non-trivial ``ΔI = ΔK = 2`` instances, the standard
+stress test for locality (every agent's view of radius ``< girth/2`` looks
+like an infinite path), and — when the length is a multiple of ``4R`` — the
+finite instances on which the §6 layering machinery can be exercised
+modulo ``4R``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.builder import InstanceBuilder
+from ..core.instance import MaxMinInstance
+
+__all__ = ["cycle_instance", "defect_cycle_instance"]
+
+
+def cycle_instance(
+    num_segments: int,
+    *,
+    coefficient_range: Tuple[float, float] = (1.0, 1.0),
+    seed: int = 0,
+    a_coefficients: Optional[Sequence[Tuple[float, float]]] = None,
+    name: Optional[str] = None,
+) -> MaxMinInstance:
+    """A special-form cycle with ``num_segments`` constraint/objective pairs.
+
+    Parameters
+    ----------
+    num_segments:
+        Number of constraints (= number of objectives); the cycle has
+        ``2 * num_segments`` agents.  Must be at least 2.
+    coefficient_range:
+        Uniform range for the constraint coefficients (objective
+        coefficients are fixed to 1 by the special form).  The default
+        ``(1.0, 1.0)`` gives the {0,1}-coefficient case.
+    a_coefficients:
+        Optional explicit list of ``(a_left, a_right)`` pairs, one per
+        constraint, overriding the random choice.
+    seed:
+        PRNG seed for the random coefficients.
+    """
+    if num_segments < 2:
+        raise ValueError("a cycle needs at least two segments")
+    rng = np.random.default_rng(seed)
+    lo, hi = coefficient_range
+
+    builder = InstanceBuilder(name=name or f"cycle-{num_segments}")
+    n_agents = 2 * num_segments
+    for j in range(num_segments):
+        left = f"v{2 * j}"
+        right = f"v{2 * j + 1}"
+        nxt = f"v{(2 * j + 2) % n_agents}"
+        if a_coefficients is not None:
+            a_left, a_right = a_coefficients[j]
+        else:
+            a_left, a_right = float(rng.uniform(lo, hi)), float(rng.uniform(lo, hi))
+        builder.add_constraint_term(f"i{j}", left, a_left)
+        builder.add_constraint_term(f"i{j}", right, a_right)
+        builder.add_objective_term(f"k{j}", right, 1.0)
+        builder.add_objective_term(f"k{j}", nxt, 1.0)
+    return builder.build()
+
+
+def defect_cycle_instance(
+    num_segments: int,
+    *,
+    defect_index: int = 0,
+    defect_coefficient: float = 2.0,
+    name: Optional[str] = None,
+) -> MaxMinInstance:
+    """A unit-coefficient cycle with a single "defect" constraint.
+
+    All coefficients are 1 except constraint ``defect_index``, whose two
+    coefficients are ``defect_coefficient``.  Far from the defect the
+    instance is locally indistinguishable from the plain unit cycle — the
+    instance pair (plain, defect) feeds the indistinguishability experiment
+    (E2): a local algorithm must give far-away agents the same values in
+    both instances although the optima differ.
+    """
+    if not 0 <= defect_index < num_segments:
+        raise ValueError("defect_index out of range")
+    coefficients = [(1.0, 1.0)] * num_segments
+    coefficients[defect_index] = (defect_coefficient, defect_coefficient)
+    return cycle_instance(
+        num_segments,
+        a_coefficients=coefficients,
+        name=name or f"defect-cycle-{num_segments}@{defect_index}",
+    )

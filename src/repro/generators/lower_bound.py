@@ -1,0 +1,101 @@
+"""Instance pairs for the locality lower-bound experiment (E2).
+
+Theorem 1's negative half states that *no* local algorithm achieves the
+ratio ``ΔI (1 − 1/ΔK)``; the proof (in the companion paper [7], not part of
+the reproduced text) constructs instances that look identical within the
+local horizon of any prospective algorithm yet require globally different
+outputs.
+
+This module provides the ingredient that argument is built from: pairs
+``(A, B)`` of instances that are *locally indistinguishable* far away from a
+small "defect", together with families where the safe/optimal gap is
+maximal.  The accompanying machinery in
+:mod:`repro.analysis.indistinguishability` computes, for a given horizon
+``D``, the best approximation ratio *any* deterministic local algorithm
+(port-numbering model) could possibly achieve on such a pair — an
+instance-specific, computational lower bound in the spirit of the paper's
+impossibility result.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.instance import MaxMinInstance
+from .cycle import cycle_instance, defect_cycle_instance
+from .regular import objective_ring_instance
+
+__all__ = [
+    "indistinguishable_cycle_pair",
+    "half_half_cycle_pair",
+    "hard_ring_pair",
+]
+
+
+def indistinguishable_cycle_pair(
+    num_segments: int,
+    *,
+    defect_coefficient: float = 2.0,
+    name_prefix: Optional[str] = None,
+) -> Tuple[MaxMinInstance, MaxMinInstance]:
+    """A unit cycle and the same cycle with one tightened constraint.
+
+    Agents at graph distance more than ``D`` from the defect have isomorphic
+    radius-``D`` views in both instances, so any local algorithm with
+    horizon ``D`` must assign them identical values — although the optima of
+    the two instances differ (the defect halves the capacity of one
+    constraint).
+    """
+    prefix = name_prefix or f"lb-cycle-{num_segments}"
+    plain = cycle_instance(num_segments, name=f"{prefix}-plain")
+    defect = defect_cycle_instance(
+        num_segments, defect_coefficient=defect_coefficient, name=f"{prefix}-defect"
+    )
+    return plain, defect
+
+
+def half_half_cycle_pair(
+    num_segments: int,
+    *,
+    tight_coefficient: float = 2.0,
+    name_prefix: Optional[str] = None,
+) -> Tuple[MaxMinInstance, MaxMinInstance]:
+    """A uniform cycle versus a cycle whose second half has tighter constraints.
+
+    In the second instance one contiguous half of the constraints uses
+    ``tight_coefficient`` instead of 1.  Deep inside either half the local
+    views coincide with the corresponding uniform cycle, so a local
+    algorithm is forced to treat the "loose" half of instance B exactly like
+    instance A — even though B's optimum is dictated by its tight half.
+    """
+    if num_segments < 4:
+        raise ValueError("need at least four segments to split in halves")
+    prefix = name_prefix or f"lb-half-{num_segments}"
+    plain = cycle_instance(num_segments, name=f"{prefix}-uniform")
+    half = num_segments // 2
+    coefficients = [(1.0, 1.0)] * num_segments
+    for j in range(half, num_segments):
+        coefficients[j] = (tight_coefficient, tight_coefficient)
+    mixed = cycle_instance(num_segments, a_coefficients=coefficients, name=f"{prefix}-mixed")
+    return plain, mixed
+
+
+def hard_ring_pair(
+    num_objectives: int,
+    delta_K: int,
+    *,
+    name_prefix: Optional[str] = None,
+) -> Tuple[MaxMinInstance, MaxMinInstance]:
+    """Two rotations of the objective ring (E4's adversarial family).
+
+    Both instances are isomorphic (the second is the first with the roles of
+    the shared agents shifted by one objective), so every agent has a twin
+    with an identical view in the other instance; an algorithm that cannot
+    tell which rotation it lives in cannot pick the correct agents to zero
+    out.  Used to stress the indistinguishability machinery on a family with
+    a large optimal/symmetric gap.
+    """
+    prefix = name_prefix or f"lb-ring-K{delta_K}-m{num_objectives}"
+    first = objective_ring_instance(num_objectives, delta_K, name=f"{prefix}-a")
+    second = objective_ring_instance(num_objectives, delta_K, name=f"{prefix}-b")
+    return first, second

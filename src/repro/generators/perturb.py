@@ -1,0 +1,85 @@
+"""Instance perturbations.
+
+Small, controlled modifications of existing instances are used in two
+places:
+
+* the *dynamic graph* experiments (E5 / the ``dynamic_network`` example):
+  change one coefficient and verify that only outputs within the local
+  horizon move;
+* robustness tests: jitter all coefficients slightly and check that the
+  approximation guarantee still holds (it must — the guarantee is
+  per-instance, not per-family).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .._types import NodeId
+from ..core.instance import MaxMinInstance
+from ..exceptions import InvalidInstanceError
+
+__all__ = ["perturb_coefficient", "jitter_coefficients"]
+
+
+def perturb_coefficient(
+    instance: MaxMinInstance,
+    constraint: NodeId,
+    agent: NodeId,
+    new_value: float,
+    name: Optional[str] = None,
+) -> MaxMinInstance:
+    """Return a copy of ``instance`` with one constraint coefficient replaced."""
+    if new_value <= 0:
+        raise InvalidInstanceError("perturbed coefficient must remain positive")
+    a = instance.a_coefficients
+    if (constraint, agent) not in a:
+        raise InvalidInstanceError(
+            f"instance has no coefficient a[{constraint!r}, {agent!r}] to perturb"
+        )
+    a[(constraint, agent)] = float(new_value)
+    return MaxMinInstance(
+        agents=instance.agents,
+        constraints=instance.constraints,
+        objectives=instance.objectives,
+        a=a,
+        c=instance.c_coefficients,
+        name=name or f"{instance.name}#perturbed",
+    )
+
+
+def jitter_coefficients(
+    instance: MaxMinInstance,
+    *,
+    relative_amplitude: float = 0.05,
+    seed: int = 0,
+    jitter_objectives: bool = False,
+    name: Optional[str] = None,
+) -> MaxMinInstance:
+    """Multiply every constraint coefficient by ``1 + U(−amp, +amp)``.
+
+    Objective coefficients are only jittered when ``jitter_objectives`` is
+    true (doing so leaves the special form, which fixes ``c ≡ 1``).
+    """
+    if not 0 <= relative_amplitude < 1:
+        raise InvalidInstanceError("relative_amplitude must lie in [0, 1)")
+    rng = np.random.default_rng(seed)
+
+    def jitter(value: float) -> float:
+        return value * float(1.0 + rng.uniform(-relative_amplitude, relative_amplitude))
+
+    a = {key: jitter(val) for key, val in instance.a_coefficients.items()}
+    if jitter_objectives:
+        c = {key: jitter(val) for key, val in instance.c_coefficients.items()}
+    else:
+        c = instance.c_coefficients
+    return MaxMinInstance(
+        agents=instance.agents,
+        constraints=instance.constraints,
+        objectives=instance.objectives,
+        a=a,
+        c=c,
+        name=name or f"{instance.name}#jitter",
+    )

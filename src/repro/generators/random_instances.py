@@ -1,0 +1,246 @@
+"""Random max-min LP instance generators.
+
+Two flavours are provided:
+
+* :func:`random_instance` — a *general* instance with the requested degree
+  bounds ``ΔI``/``ΔK``, arbitrary positive coefficients and, possibly,
+  agents that belong to several objectives (exercising the whole §4
+  transformation pipeline);
+* :func:`random_special_form_instance` — an instance already in the §5
+  special form (``|V_i| = 2``, ``|K_v| = 1``, ``c ≡ 1``), useful for testing
+  the core algorithm in isolation and for the distributed protocol, which
+  accepts only special-form inputs.
+
+Both constructions are *non-degenerate by construction* (every agent has at
+least one constraint and one objective, every constraint/objective at least
+one agent), deterministic given a seed, and keep degrees bounded so that the
+locality guarantees are meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.builder import InstanceBuilder
+from ..core.instance import MaxMinInstance
+
+__all__ = ["random_instance", "random_special_form_instance"]
+
+
+def _chunks(items: List[str], sizes: List[int]) -> List[List[str]]:
+    """Split ``items`` into consecutive chunks of the given sizes."""
+    out: List[List[str]] = []
+    start = 0
+    for size in sizes:
+        out.append(items[start : start + size])
+        start += size
+    return out
+
+
+def _cover_sizes(rng: np.random.Generator, total: int, low: int, high: int) -> List[int]:
+    """Random chunk sizes summing exactly to ``total``.
+
+    Every chunk has size in ``[low, high]`` except possibly the final one,
+    which may be smaller (never larger — the degree bound ``high`` is a hard
+    promise of the generators, a stray small row is not).
+    """
+    sizes: List[int] = []
+    remaining = total
+    while remaining > 0:
+        size = min(int(rng.integers(low, high + 1)), remaining)
+        sizes.append(size)
+        remaining -= size
+    return sizes
+
+
+def random_instance(
+    num_agents: int,
+    *,
+    delta_I: int = 3,
+    delta_K: int = 3,
+    extra_constraints: int = 0,
+    extra_objectives: int = 0,
+    coefficient_range: Tuple[float, float] = (0.5, 2.0),
+    zero_one: bool = False,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> MaxMinInstance:
+    """Generate a random non-degenerate general instance.
+
+    The agents are first covered by disjoint constraints of size
+    ``2 … delta_I`` and by disjoint objectives of size ``1 … delta_K`` (so
+    every agent is adjacent to at least one of each), then
+    ``extra_constraints`` / ``extra_objectives`` additional random rows are
+    layered on top; extra rows give some agents ``|K_v| > 1`` and
+    ``|I_v| > 1``, which is what exercises the §4.4 transformation.
+
+    Parameters
+    ----------
+    num_agents:
+        Number of agents (≥ 2).
+    delta_I, delta_K:
+        Maximum degree of constraints / objectives (≥ 2 and ≥ 1).
+    extra_constraints, extra_objectives:
+        How many additional random rows to add beyond the covering rows.
+    coefficient_range:
+        Uniform range for the positive coefficients.
+    zero_one:
+        If true all coefficients are 1 (the {0,1}-coefficient case studied in
+        prior work).
+    seed:
+        PRNG seed (the construction is fully deterministic given the seed).
+    """
+    if num_agents < 2:
+        raise ValueError("need at least two agents")
+    if delta_I < 2 or delta_K < 1:
+        raise ValueError("need delta_I >= 2 and delta_K >= 1")
+
+    rng = np.random.default_rng(seed)
+    lo, hi = coefficient_range
+
+    def coeff() -> float:
+        return 1.0 if zero_one else float(rng.uniform(lo, hi))
+
+    agents = [f"v{j}" for j in range(num_agents)]
+    builder = InstanceBuilder(name=name or f"random-n{num_agents}-dI{delta_I}-dK{delta_K}-s{seed}")
+    builder.add_agents(agents)
+
+    counter = {"i": 0, "k": 0}
+
+    def new_constraint() -> str:
+        counter["i"] += 1
+        return f"i{counter['i'] - 1}"
+
+    def new_objective() -> str:
+        counter["k"] += 1
+        return f"k{counter['k'] - 1}"
+
+    # Covering constraints (sizes 2 … delta_I) over a random permutation.
+    order = list(rng.permutation(agents))
+    for group in _chunks(order, _cover_sizes(rng, num_agents, 2, delta_I)):
+        i = new_constraint()
+        for v in group:
+            builder.add_constraint_term(i, v, coeff())
+
+    # Covering objectives (sizes 1 … delta_K) over another permutation.
+    order = list(rng.permutation(agents))
+    for group in _chunks(order, _cover_sizes(rng, num_agents, 1, delta_K)):
+        k = new_objective()
+        for v in group:
+            builder.add_objective_term(k, v, coeff())
+
+    # Extra rows on random agent subsets.
+    for _ in range(extra_constraints):
+        size = int(rng.integers(2, delta_I + 1))
+        members = rng.choice(num_agents, size=min(size, num_agents), replace=False)
+        i = new_constraint()
+        for idx in members:
+            builder.add_constraint_term(i, agents[int(idx)], coeff())
+    for _ in range(extra_objectives):
+        size = int(rng.integers(1, delta_K + 1))
+        members = rng.choice(num_agents, size=min(size, num_agents), replace=False)
+        k = new_objective()
+        for idx in members:
+            builder.add_objective_term(k, agents[int(idx)], coeff())
+
+    return builder.build()
+
+
+def _objective_sizes(rng: np.random.Generator, total: int, high: int) -> List[int]:
+    """Chunk sizes in ``[2, high]`` summing to ``total`` (special-form objectives).
+
+    When ``total`` is odd and ``high == 2`` a single chunk of size 3 is
+    unavoidable; otherwise the degree bound is respected exactly.
+    """
+    sizes: List[int] = []
+    remaining = total
+    while remaining > 0:
+        if remaining <= high and remaining >= 2:
+            sizes.append(remaining)
+            return sizes
+        if remaining == 1:
+            if sizes and sizes[-1] > 2:
+                sizes[-1] -= 1
+                sizes.append(2)
+            else:
+                sizes[-1] += 1
+            return sizes
+        size = min(int(rng.integers(2, high + 1)), remaining - 2) if remaining - 2 >= 2 else 2
+        size = max(size, 2)
+        sizes.append(size)
+        remaining -= size
+    return sizes
+
+
+def random_special_form_instance(
+    num_agents: int,
+    *,
+    delta_K: int = 3,
+    constraint_rounds: int = 1,
+    coefficient_range: Tuple[float, float] = (0.5, 2.0),
+    zero_one: bool = False,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> MaxMinInstance:
+    """Generate a random instance already in the §5 special form.
+
+    Objectives partition the agents into groups of size ``2 … delta_K``
+    (each agent gets exactly one objective, coefficient 1); constraints are
+    ``constraint_rounds`` random near-perfect matchings of the agents (each
+    constraint has exactly two agents, random positive coefficients), so
+    every agent has between 1 and ``constraint_rounds`` (+1 when patched)
+    constraints.
+
+    Parameters
+    ----------
+    num_agents:
+        Number of agents (≥ 4; must allow at least two objectives).
+    delta_K:
+        Maximum objective degree (≥ 2).
+    constraint_rounds:
+        How many random matchings to overlay (≥ 1); agent constraint degree
+        ``|I_v|`` is at most this value plus one.
+    """
+    if num_agents < 4:
+        raise ValueError("need at least four agents for a special-form instance")
+    if delta_K < 2:
+        raise ValueError("need delta_K >= 2")
+    if constraint_rounds < 1:
+        raise ValueError("need at least one constraint round")
+
+    rng = np.random.default_rng(seed)
+    lo, hi = coefficient_range
+
+    def coeff() -> float:
+        return 1.0 if zero_one else float(rng.uniform(lo, hi))
+
+    agents = [f"v{j}" for j in range(num_agents)]
+    builder = InstanceBuilder(
+        name=name or f"sf-random-n{num_agents}-dK{delta_K}-m{constraint_rounds}-s{seed}"
+    )
+    builder.add_agents(agents)
+
+    # Objectives: partition into groups of size 2 … delta_K (coefficients 1).
+    order = list(rng.permutation(agents))
+    for idx, group in enumerate(_chunks(order, _objective_sizes(rng, num_agents, delta_K))):
+        for v in group:
+            builder.add_objective_term(f"k{idx}", v, 1.0)
+
+    # Constraints: random matchings (pair consecutive agents of a shuffle).
+    constraint_id = 0
+    for _ in range(constraint_rounds):
+        order = list(rng.permutation(agents))
+        pairs = [(order[2 * j], order[2 * j + 1]) for j in range(len(order) // 2)]
+        if len(order) % 2 == 1:
+            # Odd agent count: close the round by pairing the leftover agent
+            # with the first one (gives it a second constraint, still fine).
+            pairs.append((order[-1], order[0]))
+        for u, v in pairs:
+            i = f"i{constraint_id}"
+            constraint_id += 1
+            builder.add_constraint_term(i, u, coeff())
+            builder.add_constraint_term(i, v, coeff())
+
+    return builder.build()

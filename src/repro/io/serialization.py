@@ -1,0 +1,142 @@
+"""JSON (de)serialization of instances and solutions.
+
+Node identifiers may be arbitrary hashables inside the library (the
+transformation pipeline, for example, creates tuple-shaped ids); on disk we
+store a *string* form plus enough structure to round-trip the common cases
+(strings, integers, tuples of those).  Instances written by this module can
+be re-read by it; instances whose ids use exotic Python objects are written
+with ``repr`` strings and will round-trip structurally but not by identity.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+from .._types import NodeId
+from ..core.instance import MaxMinInstance
+from ..core.solution import Solution
+from ..exceptions import SerializationError
+
+__all__ = [
+    "instance_to_json",
+    "instance_from_json",
+    "save_instance",
+    "load_instance",
+    "solution_to_json",
+    "save_solution",
+]
+
+
+def _encode_id(node_id: NodeId) -> Any:
+    """Encode a node id as JSON-compatible data (tagged for round-tripping)."""
+    if isinstance(node_id, str):
+        return node_id
+    if isinstance(node_id, bool):  # bool before int: bool is an int subclass
+        return {"__kind__": "repr", "value": repr(node_id)}
+    if isinstance(node_id, int):
+        return {"__kind__": "int", "value": node_id}
+    if isinstance(node_id, tuple):
+        return {"__kind__": "tuple", "items": [_encode_id(x) for x in node_id]}
+    return {"__kind__": "repr", "value": repr(node_id)}
+
+
+def _decode_id(data: Any) -> NodeId:
+    if isinstance(data, str):
+        return data
+    if isinstance(data, Mapping):
+        kind = data.get("__kind__")
+        if kind == "int":
+            return int(data["value"])
+        if kind == "tuple":
+            return tuple(_decode_id(x) for x in data["items"])
+        if kind == "repr":
+            return str(data["value"])
+    raise SerializationError(f"cannot decode node id from {data!r}")
+
+
+def instance_to_json(instance: MaxMinInstance) -> str:
+    """Serialise an instance to a JSON string."""
+    payload: Dict[str, Any] = {
+        "format": "repro.maxmin-lp",
+        "version": 1,
+        "name": instance.name,
+        "agents": [_encode_id(v) for v in instance.agents],
+        "constraints": [_encode_id(i) for i in instance.constraints],
+        "objectives": [_encode_id(k) for k in instance.objectives],
+        "a": [
+            {"constraint": _encode_id(i), "agent": _encode_id(v), "coefficient": coeff}
+            for (i, v), coeff in sorted(instance.a_coefficients.items(), key=repr)
+        ],
+        "c": [
+            {"objective": _encode_id(k), "agent": _encode_id(v), "coefficient": coeff}
+            for (k, v), coeff in sorted(instance.c_coefficients.items(), key=repr)
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def instance_from_json(text: str) -> MaxMinInstance:
+    """Inverse of :func:`instance_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    if payload.get("format") != "repro.maxmin-lp":
+        raise SerializationError("not a repro.maxmin-lp document")
+    try:
+        a = {
+            (_decode_id(row["constraint"]), _decode_id(row["agent"])): float(row["coefficient"])
+            for row in payload["a"]
+        }
+        c = {
+            (_decode_id(row["objective"]), _decode_id(row["agent"])): float(row["coefficient"])
+            for row in payload["c"]
+        }
+        return MaxMinInstance(
+            agents=[_decode_id(x) for x in payload["agents"]],
+            constraints=[_decode_id(x) for x in payload["constraints"]],
+            objectives=[_decode_id(x) for x in payload["objectives"]],
+            a=a,
+            c=c,
+            name=str(payload.get("name", "max-min-lp")),
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed instance document: {exc}") from exc
+
+
+def save_instance(instance: MaxMinInstance, path: Union[str, Path]) -> Path:
+    """Write an instance to a ``.json`` file; returns the path."""
+    path = Path(path)
+    path.write_text(instance_to_json(instance), encoding="utf-8")
+    return path
+
+
+def load_instance(path: Union[str, Path]) -> MaxMinInstance:
+    """Read an instance previously written by :func:`save_instance`."""
+    return instance_from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def solution_to_json(solution: Solution, include_diagnostics: bool = True) -> str:
+    """Serialise a solution (values plus optional diagnostics) to JSON."""
+    payload: Dict[str, Any] = {
+        "format": "repro.maxmin-solution",
+        "version": 1,
+        "label": solution.label,
+        "instance": solution.instance.name,
+        "values": [
+            {"agent": _encode_id(v), "value": solution[v]} for v in solution.instance.agents
+        ],
+    }
+    if include_diagnostics:
+        payload["utility"] = solution.utility()
+        payload["feasible"] = solution.is_feasible()
+    return json.dumps(payload, indent=2)
+
+
+def save_solution(solution: Solution, path: Union[str, Path]) -> Path:
+    """Write a solution to a ``.json`` file; returns the path."""
+    path = Path(path)
+    path.write_text(solution_to_json(solution), encoding="utf-8")
+    return path

@@ -1,0 +1,23 @@
+"""Local transformations of paper §4 and their composition."""
+
+from .augment_singleton_constraints import AugmentSingletonConstraints
+from .augment_singleton_objectives import AugmentSingletonObjectives
+from .base import Transform, TransformResult, compose
+from .normalise_coefficients import NormaliseCoefficients
+from .pipeline import apply_chain, canonical_transforms, to_special_form
+from .reduce_constraint_degree import ReduceConstraintDegree
+from .split_agents_by_objective import SplitAgentsByObjective
+
+__all__ = [
+    "Transform",
+    "TransformResult",
+    "compose",
+    "AugmentSingletonConstraints",
+    "ReduceConstraintDegree",
+    "SplitAgentsByObjective",
+    "AugmentSingletonObjectives",
+    "NormaliseCoefficients",
+    "canonical_transforms",
+    "apply_chain",
+    "to_special_form",
+]

@@ -1,0 +1,133 @@
+"""§4.2 — Augmenting singleton constraints.
+
+After this transformation every constraint has degree at least 2
+(``|V_i| ≥ 2``).  A degree-1 constraint ``i`` with unique agent ``v`` is
+augmented with a small gadget: three new agents ``s``, ``t``, ``u``, two new
+objectives ``h``, ``ℓ`` and one new constraint ``j`` wired as
+
+* ``a_is = a_jt = a_ju = 1`` (``s`` joins the old constraint ``i``; ``t`` and
+  ``u`` share the new constraint ``j``),
+* ``c_hs = c_ℓs = 1`` and ``c_ht = c_ℓu = M`` where
+  ``M = 2 Σ_{w ∈ V_k} c_kw · min_{i ∈ I_w} 1/a_iw`` for some objective
+  ``k ∈ K_v`` adjacent to ``v``.
+
+The constant ``M`` is large enough that the new objectives ``h`` and ``ℓ``
+never constrain the optimum (setting ``x_t = x_u = 1/2`` and ``x_s = 0``
+already pushes them above any achievable utility of the original instance),
+so the optima of the original and transformed instances coincide and the
+approximation ratio is preserved exactly (factor 1).
+
+Back-mapping simply forgets the new agents.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .._types import NodeId
+from ..core.instance import MaxMinInstance
+from ..core.solution import Solution
+from ..exceptions import TransformError
+from .base import Transform, TransformResult
+
+__all__ = ["AugmentSingletonConstraints"]
+
+
+class AugmentSingletonConstraints(Transform):
+    """Ensure ``|V_i| ≥ 2`` for every constraint (paper §4.2)."""
+
+    name = "augment-singleton-constraints (§4.2)"
+
+    def check_preconditions(self, instance: MaxMinInstance) -> None:
+        degeneracies = instance.degeneracies()
+        if degeneracies:
+            raise TransformError(
+                f"{self.name} requires a non-degenerate instance; found {sorted(degeneracies)}"
+            )
+
+    def apply(self, instance: MaxMinInstance) -> TransformResult:
+        self.check_preconditions(instance)
+
+        singletons = [i for i in instance.constraints if len(instance.agents_of_constraint(i)) == 1]
+
+        if not singletons:
+            identity = TransformResult(
+                original=instance,
+                transformed=instance,
+                back_map=lambda sol: Solution(instance, sol.as_dict(), label=sol.label),
+                ratio_factor=1.0,
+                name=self.name,
+                metadata={"augmented_constraints": 0},
+            )
+            return identity
+
+        agents: List[NodeId] = list(instance.agents)
+        constraints: List[NodeId] = list(instance.constraints)
+        objectives: List[NodeId] = list(instance.objectives)
+        a: Dict[Tuple[NodeId, NodeId], float] = instance.a_coefficients
+        c: Dict[Tuple[NodeId, NodeId], float] = instance.c_coefficients
+
+        new_agents: List[NodeId] = []
+
+        for i in singletons:
+            v = instance.agents_of_constraint(i)[0]
+            ks = instance.objectives_of_agent(v)
+            if not ks:  # pragma: no cover - excluded by precondition
+                raise TransformError(f"agent {v!r} adjacent to singleton constraint {i!r} has no objective")
+            k = ks[0]
+
+            # The "never binding" coefficient M (paper §4.2).
+            big = 0.0
+            for w in instance.agents_of_objective(k):
+                cap = instance.agent_capacity(w)
+                big += instance.c(k, w) * cap
+            big = 2.0 * big
+            if big <= 0.0:
+                big = 1.0
+
+            s = ("aug42", i, "s")
+            t = ("aug42", i, "t")
+            u = ("aug42", i, "u")
+            h = ("aug42", i, "h")
+            ell = ("aug42", i, "l")
+            j = ("aug42", i, "j")
+
+            agents.extend([s, t, u])
+            new_agents.extend([s, t, u])
+            objectives.extend([h, ell])
+            constraints.append(j)
+
+            a[(i, s)] = 1.0
+            a[(j, t)] = 1.0
+            a[(j, u)] = 1.0
+            c[(h, s)] = 1.0
+            c[(ell, s)] = 1.0
+            c[(h, t)] = big
+            c[(ell, u)] = big
+
+        transformed = MaxMinInstance(
+            agents=agents,
+            constraints=constraints,
+            objectives=objectives,
+            a=a,
+            c=c,
+            name=f"{instance.name}#4.2",
+        )
+
+        original_agents = tuple(instance.agents)
+
+        def back_map(solution: Solution) -> Solution:
+            values = {v: solution[v] for v in original_agents}
+            return Solution(instance, values, label=f"{solution.label}<-4.2")
+
+        return TransformResult(
+            original=instance,
+            transformed=transformed,
+            back_map=back_map,
+            ratio_factor=1.0,
+            name=self.name,
+            metadata={
+                "augmented_constraints": len(singletons),
+                "new_agents": len(new_agents),
+            },
+        )

@@ -1,0 +1,128 @@
+"""§4.5 — Augmenting singleton objectives.
+
+After this transformation every objective has degree at least 2
+(``|V_k| ≥ 2``).  For an objective ``k`` with a single adjacent agent ``v``,
+the agent is replaced by two copies ``t`` and ``u``; every constraint
+adjacent to ``v`` is replaced by two copies (one containing ``t``, the other
+``u``) and the objective coefficient is split: ``c_kt = c_ku = c_kv / 2``.
+All other coefficients are unchanged.
+
+The optima coincide and the ratio is preserved; the back-mapping identifies
+the copies again by taking their maximum (raising both copies to the maximum
+keeps every copied constraint satisfied because the coefficients agree).
+
+This transformation expects ``|K_v| = 1`` for every agent (run §4.4 first),
+which guarantees each agent is split at most once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .._types import NodeId
+from ..core.instance import MaxMinInstance
+from ..core.solution import Solution
+from ..exceptions import TransformError
+from .base import Transform, TransformResult
+
+__all__ = ["AugmentSingletonObjectives"]
+
+
+class AugmentSingletonObjectives(Transform):
+    """Ensure ``|V_k| ≥ 2`` for every objective (paper §4.5)."""
+
+    name = "augment-singleton-objectives (§4.5)"
+
+    def check_preconditions(self, instance: MaxMinInstance) -> None:
+        for v in instance.agents:
+            if len(instance.objectives_of_agent(v)) != 1:
+                raise TransformError(
+                    f"{self.name} requires |K_v| = 1 for every agent (run §4.4 first); "
+                    f"agent {v!r} has {len(instance.objectives_of_agent(v))} objectives"
+                )
+
+    def apply(self, instance: MaxMinInstance) -> TransformResult:
+        self.check_preconditions(instance)
+
+        singleton_objectives = [
+            k for k in instance.objectives if len(instance.agents_of_objective(k)) == 1
+        ]
+
+        if not singleton_objectives:
+            return TransformResult(
+                original=instance,
+                transformed=instance,
+                back_map=lambda sol: Solution(instance, sol.as_dict(), label=sol.label),
+                ratio_factor=1.0,
+                name=self.name,
+                metadata={"augmented_objectives": 0},
+            )
+
+        agents: List[NodeId] = list(instance.agents)
+        constraints: List[NodeId] = list(instance.constraints)
+        a: Dict[Tuple[NodeId, NodeId], float] = instance.a_coefficients
+        c: Dict[Tuple[NodeId, NodeId], float] = instance.c_coefficients
+
+        copies_of: Dict[NodeId, Tuple[NodeId, NodeId]] = {}
+
+        for k in singleton_objectives:
+            v = instance.agents_of_objective(k)[0]
+            t = ("copy45", v, 0)
+            u = ("copy45", v, 1)
+            copies_of[v] = (t, u)
+
+            pos = agents.index(v)
+            agents[pos:pos + 1] = [t, u]
+
+            coeff_k = c.pop((k, v))
+            c[(k, t)] = coeff_k / 2.0
+            c[(k, u)] = coeff_k / 2.0
+
+            # Constraints *currently* containing v (earlier splits in this very
+            # transformation may already have replaced some original
+            # constraints by copies that still contain v).
+            current_constraints = [i for i in constraints if (i, v) in a]
+            for i in current_constraints:
+                coeff_v = a.pop((i, v))
+                other_members = [w for (ci, w) in list(a.keys()) if ci == i]
+                other_coeffs = {w: a.pop((i, w)) for w in other_members}
+                pos_i = constraints.index(i)
+                copy_t = ("copyc45", i, v, 0)
+                copy_u = ("copyc45", i, v, 1)
+                constraints[pos_i:pos_i + 1] = [copy_t, copy_u]
+                a[(copy_t, t)] = coeff_v
+                a[(copy_u, u)] = coeff_v
+                for w, coeff_w in other_coeffs.items():
+                    a[(copy_t, w)] = coeff_w
+                    a[(copy_u, w)] = coeff_w
+
+        transformed = MaxMinInstance(
+            agents=agents,
+            constraints=constraints,
+            objectives=list(instance.objectives),
+            a=a,
+            c=c,
+            name=f"{instance.name}#4.5",
+        )
+
+        def back_map(solution: Solution) -> Solution:
+            values: Dict[NodeId, float] = {}
+            for v in instance.agents:
+                if v in copies_of:
+                    t, u = copies_of[v]
+                    values[v] = max(solution[t], solution[u])
+                else:
+                    values[v] = solution[v]
+            return Solution(instance, values, label=f"{solution.label}<-4.5")
+
+        return TransformResult(
+            original=instance,
+            transformed=transformed,
+            back_map=back_map,
+            ratio_factor=1.0,
+            name=self.name,
+            metadata={
+                "augmented_objectives": len(singleton_objectives),
+                "num_agents_after": len(agents),
+            },
+        )

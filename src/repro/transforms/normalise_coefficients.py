@@ -1,0 +1,94 @@
+"""§4.6 — Normalising objective coefficients.
+
+After this transformation ``c_kv = 1`` for every objective edge.  For each
+agent ``v`` (which, after §4.4, has a unique objective ``k(v)``) both the
+constraint coefficients ``a_iv`` and the objective coefficient ``c_{k(v)v}``
+are divided by ``c_{k(v)v}``.  The communication graph (and port numbering)
+is unchanged.
+
+This corresponds to the change of variables ``x'_v = c_{k(v)v} · x_v``:
+
+* constraints:  ``Σ (a_iv / c_v) x'_v = Σ a_iv x_v ≤ 1``,
+* objectives:   ``Σ (c_kv / c_v) x'_v = Σ c_kv x_v``,
+
+so the feasible regions and utilities are in exact bijection and the
+approximation ratio is preserved.  Mapping a transformed solution ``x'``
+back therefore sets ``x_v = x'_v / c_{k(v)v}``.  (The paper's one-line
+"multiply" phrasing describes the forward change of variables; the inverse
+map used here divides, which the round-trip tests confirm.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .._types import NodeId
+from ..core.instance import MaxMinInstance
+from ..core.solution import Solution
+from ..exceptions import TransformError
+from .base import Transform, TransformResult
+
+__all__ = ["NormaliseCoefficients"]
+
+
+class NormaliseCoefficients(Transform):
+    """Ensure ``c_kv = 1`` on every objective edge (paper §4.6)."""
+
+    name = "normalise-coefficients (§4.6)"
+
+    def check_preconditions(self, instance: MaxMinInstance) -> None:
+        for v in instance.agents:
+            if len(instance.objectives_of_agent(v)) != 1:
+                raise TransformError(
+                    f"{self.name} requires |K_v| = 1 for every agent (run §4.4 first); "
+                    f"agent {v!r} has {len(instance.objectives_of_agent(v))} objectives"
+                )
+
+    def apply(self, instance: MaxMinInstance) -> TransformResult:
+        self.check_preconditions(instance)
+
+        # Per-agent scaling factor c_{k(v) v}.
+        scale: Dict[NodeId, float] = {}
+        for v in instance.agents:
+            k = instance.objectives_of_agent(v)[0]
+            scale[v] = instance.c(k, v)
+
+        already_normalised = all(abs(s - 1.0) <= 1e-15 for s in scale.values())
+        if already_normalised:
+            return TransformResult(
+                original=instance,
+                transformed=instance,
+                back_map=lambda sol: Solution(instance, sol.as_dict(), label=sol.label),
+                ratio_factor=1.0,
+                name=self.name,
+                metadata={"rescaled_agents": 0},
+            )
+
+        a: Dict[Tuple[NodeId, NodeId], float] = {
+            (i, v): coeff / scale[v] for (i, v), coeff in instance.a_coefficients.items()
+        }
+        c: Dict[Tuple[NodeId, NodeId], float] = {
+            (k, v): coeff / scale[v] for (k, v), coeff in instance.c_coefficients.items()
+        }
+
+        transformed = MaxMinInstance(
+            agents=list(instance.agents),
+            constraints=list(instance.constraints),
+            objectives=list(instance.objectives),
+            a=a,
+            c=c,
+            name=f"{instance.name}#4.6",
+        )
+
+        def back_map(solution: Solution) -> Solution:
+            values = {v: solution[v] / scale[v] for v in instance.agents}
+            return Solution(instance, values, label=f"{solution.label}<-4.6")
+
+        return TransformResult(
+            original=instance,
+            transformed=transformed,
+            back_map=back_map,
+            ratio_factor=1.0,
+            name=self.name,
+            metadata={"rescaled_agents": sum(1 for s in scale.values() if abs(s - 1.0) > 1e-15)},
+        )

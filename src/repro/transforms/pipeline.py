@@ -1,0 +1,83 @@
+"""The canonical §4 transformation pipeline.
+
+Applying §4.2 → §4.3 → §4.4 → §4.5 → §4.6 in order converts any
+non-degenerate max-min LP into the *special form* required by the §5
+algorithm:
+
+* ``|V_i| = 2`` for every constraint,
+* ``|V_k| ≥ 2`` for every objective,
+* ``|K_v| = 1`` and ``|I_v| ≥ 1`` for every agent,
+* ``c_kv = 1`` on every objective edge.
+
+The composed back-mapping converts a solution of the special-form instance
+into a solution of the original instance; the composed ratio factor is
+``max(ΔI, 2) / 2`` (only §4.3 loses a factor).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.instance import MaxMinInstance
+from ..core.validation import require_nondegenerate, require_special_form
+from .augment_singleton_constraints import AugmentSingletonConstraints
+from .augment_singleton_objectives import AugmentSingletonObjectives
+from .base import Transform, TransformResult, compose
+from .normalise_coefficients import NormaliseCoefficients
+from .reduce_constraint_degree import ReduceConstraintDegree
+from .split_agents_by_objective import SplitAgentsByObjective
+
+__all__ = ["canonical_transforms", "to_special_form", "apply_chain"]
+
+
+def canonical_transforms() -> List[Transform]:
+    """The five §4 transformations in their canonical application order."""
+    return [
+        AugmentSingletonConstraints(),
+        ReduceConstraintDegree(),
+        SplitAgentsByObjective(),
+        AugmentSingletonObjectives(),
+        NormaliseCoefficients(),
+    ]
+
+
+def apply_chain(
+    instance: MaxMinInstance,
+    transforms: Sequence[Transform],
+    name: str = "pipeline",
+) -> TransformResult:
+    """Apply a sequence of transformations and compose the results."""
+    results: List[TransformResult] = []
+    current = instance
+    for transform in transforms:
+        result = transform.apply(current)
+        results.append(result)
+        current = result.transformed
+    return compose(results, name=name)
+
+
+def to_special_form(
+    instance: MaxMinInstance,
+    *,
+    verify: bool = True,
+    name: Optional[str] = None,
+) -> TransformResult:
+    """Convert a non-degenerate instance to the §5 special form.
+
+    Parameters
+    ----------
+    instance:
+        A non-degenerate instance (run :func:`repro.core.preprocess.preprocess`
+        first if needed); raises
+        :class:`~repro.exceptions.DegenerateInstanceError` otherwise.
+    verify:
+        If true (default), assert that the output really satisfies the special
+        form; this is cheap and catches programming errors early.
+    name:
+        Optional name for the composed :class:`TransformResult`.
+    """
+    require_nondegenerate(instance)
+    result = apply_chain(instance, canonical_transforms(), name=name or "to-special-form (§4)")
+    if verify:
+        require_special_form(result.transformed)
+    return result

@@ -1,0 +1,116 @@
+"""§4.3 — Reducing the degree of constraints.
+
+After this transformation every constraint has degree exactly 2
+(``|V_i| = 2``).  A constraint ``i`` with ``|V_i| > 2`` is replaced by the
+``binom(|V_i|, 2)`` pairwise constraints
+
+.. math:: a_{iu} x_u + a_{iv} x_v \\le 1 \\qquad \\forall u, v \\in V_i,\\ u < v.
+
+Back-mapping (paper Eq. 4): ``x_v = 2 x'_v / max_{i ∈ I_v} |V_i|`` where the
+maximum is over the *original* constraint degrees.  Summing the pairwise
+constraints shows the mapped solution is feasible; since the objectives are
+untouched the utility scales linearly, so an ``α``-approximate solution of
+the transformed instance maps to an ``α · ΔI / 2``-approximate solution of
+the original instance.  This is the only transformation in the pipeline that
+loses a factor, and it is exactly the factor in Theorem 1.
+
+This transformation requires ``|V_i| ≥ 2`` (run §4.2 first).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Tuple
+
+from .._types import NodeId
+from ..core.instance import MaxMinInstance
+from ..core.solution import Solution
+from ..exceptions import TransformError
+from .base import Transform, TransformResult
+
+__all__ = ["ReduceConstraintDegree"]
+
+
+class ReduceConstraintDegree(Transform):
+    """Ensure ``|V_i| = 2`` for every constraint (paper §4.3)."""
+
+    name = "reduce-constraint-degree (§4.3)"
+
+    def check_preconditions(self, instance: MaxMinInstance) -> None:
+        for i in instance.constraints:
+            deg = len(instance.agents_of_constraint(i))
+            if deg < 2:
+                raise TransformError(
+                    f"{self.name} requires |V_i| >= 2 for every constraint; "
+                    f"constraint {i!r} has degree {deg} (run §4.2 first)"
+                )
+
+    def apply(self, instance: MaxMinInstance) -> TransformResult:
+        self.check_preconditions(instance)
+
+        delta_I = instance.delta_I
+        # Per-agent scaling denominator: the largest original degree among the
+        # agent's constraints (paper Eq. 4).
+        scale_den: Dict[NodeId, int] = {}
+        for v in instance.agents:
+            degrees = [len(instance.agents_of_constraint(i)) for i in instance.constraints_of_agent(v)]
+            scale_den[v] = max(degrees) if degrees else 2
+
+        wide = [i for i in instance.constraints if len(instance.agents_of_constraint(i)) > 2]
+
+        if not wide:
+            return TransformResult(
+                original=instance,
+                transformed=instance,
+                back_map=lambda sol: Solution(instance, sol.as_dict(), label=sol.label),
+                ratio_factor=1.0,
+                name=self.name,
+                metadata={"split_constraints": 0, "delta_I": delta_I},
+            )
+
+        constraints: List[NodeId] = []
+        a: Dict[Tuple[NodeId, NodeId], float] = {}
+
+        agent_order = {v: idx for idx, v in enumerate(instance.agents)}
+
+        for i in instance.constraints:
+            members = instance.agents_of_constraint(i)
+            if len(members) == 2:
+                constraints.append(i)
+                for v in members:
+                    a[(i, v)] = instance.a(i, v)
+            else:
+                ordered = sorted(members, key=agent_order.__getitem__)
+                for u, v in combinations(ordered, 2):
+                    new_id = ("deg43", i, u, v)
+                    constraints.append(new_id)
+                    a[(new_id, u)] = instance.a(i, u)
+                    a[(new_id, v)] = instance.a(i, v)
+
+        transformed = MaxMinInstance(
+            agents=list(instance.agents),
+            constraints=constraints,
+            objectives=list(instance.objectives),
+            a=a,
+            c=instance.c_coefficients,
+            name=f"{instance.name}#4.3",
+        )
+
+        def back_map(solution: Solution) -> Solution:
+            values = {v: 2.0 * solution[v] / scale_den[v] for v in instance.agents}
+            return Solution(instance, values, label=f"{solution.label}<-4.3")
+
+        ratio_factor = max(delta_I, 2) / 2.0
+
+        return TransformResult(
+            original=instance,
+            transformed=transformed,
+            back_map=back_map,
+            ratio_factor=ratio_factor,
+            name=self.name,
+            metadata={
+                "split_constraints": len(wide),
+                "delta_I": delta_I,
+                "num_constraints_after": len(constraints),
+            },
+        )

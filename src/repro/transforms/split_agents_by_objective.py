@@ -1,0 +1,124 @@
+"""§4.4 — Associating a unique objective with each agent.
+
+After this transformation every agent is adjacent to exactly one objective
+(``|K_v| = 1``).  An agent ``v`` with ``|K_v| > 1`` is replaced by ``|K_v|``
+copies, one per objective in ``K_v``; every constraint adjacent to ``v`` is
+replaced by ``|K_v|`` copies in which ``v`` is substituted by a distinct
+copy.  Coefficients are unchanged.
+
+The optima of the original and transformed instances coincide and the
+approximation ratio is preserved: all copies of ``v`` can be assumed to take
+the same value (raising every copy to the maximum over the copies keeps all
+copied constraints satisfied because they have identical coefficients), so
+back-mapping sets ``x_v = max`` over the copies of ``v``.
+
+Agents are processed sequentially; a constraint adjacent to two split agents
+ends up copied once per combination of objective choices, exactly as in the
+paper's description applied agent by agent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .._types import NodeId
+from ..core.instance import MaxMinInstance
+from ..core.solution import Solution
+from .base import Transform, TransformResult
+
+__all__ = ["SplitAgentsByObjective"]
+
+
+class SplitAgentsByObjective(Transform):
+    """Ensure ``|K_v| = 1`` for every agent (paper §4.4)."""
+
+    name = "split-agents-by-objective (§4.4)"
+
+    def apply(self, instance: MaxMinInstance) -> TransformResult:
+        multi = [v for v in instance.agents if len(instance.objectives_of_agent(v)) > 1]
+
+        if not multi:
+            return TransformResult(
+                original=instance,
+                transformed=instance,
+                back_map=lambda sol: Solution(instance, sol.as_dict(), label=sol.label),
+                ratio_factor=1.0,
+                name=self.name,
+                metadata={"split_agents": 0},
+            )
+
+        # Mutable working copies of the instance structure.
+        agents: List[NodeId] = list(instance.agents)
+        constraints: List[NodeId] = list(instance.constraints)
+        objectives: List[NodeId] = list(instance.objectives)
+        a: Dict[Tuple[NodeId, NodeId], float] = instance.a_coefficients
+        c: Dict[Tuple[NodeId, NodeId], float] = instance.c_coefficients
+
+        # original agent -> list of copies created for it (for the back-map).
+        copies_of: Dict[NodeId, List[NodeId]] = {}
+
+        def agents_of_constraint(i: NodeId) -> List[NodeId]:
+            return [v for (ci, v) in a.keys() if ci == i]
+
+        for v in multi:
+            ks = instance.objectives_of_agent(v)
+            new_copies = [("copy44", v, k) for k in ks]
+            copies_of[v] = new_copies
+
+            # Replace the agent.
+            pos = agents.index(v)
+            agents[pos:pos + 1] = new_copies
+
+            # Objective edges: each copy joins exactly its own objective.
+            for k in ks:
+                coeff = c.pop((k, v))
+                c[(k, ("copy44", v, k))] = coeff
+            # Any other objective edge of v does not exist (we popped all).
+
+            # Constraint edges: replace every constraint currently containing v
+            # by |K_v| copies, one per new agent copy.
+            current_constraints = [i for i in constraints if (i, v) in a]
+            for i in current_constraints:
+                members = agents_of_constraint(i)
+                coeff_v = a.pop((i, v))
+                other_coeffs = {w: a.pop((i, w)) for w in members if w != v}
+                pos_i = constraints.index(i)
+                replacements = []
+                for k in ks:
+                    new_i = ("copyc44", i, v, k)
+                    replacements.append(new_i)
+                    a[(new_i, ("copy44", v, k))] = coeff_v
+                    for w, coeff_w in other_coeffs.items():
+                        a[(new_i, w)] = coeff_w
+                constraints[pos_i:pos_i + 1] = replacements
+
+        transformed = MaxMinInstance(
+            agents=agents,
+            constraints=constraints,
+            objectives=objectives,
+            a=a,
+            c=c,
+            name=f"{instance.name}#4.4",
+        )
+
+        def back_map(solution: Solution) -> Solution:
+            values: Dict[NodeId, float] = {}
+            for v in instance.agents:
+                if v in copies_of:
+                    values[v] = max(solution[copy] for copy in copies_of[v])
+                else:
+                    values[v] = solution[v]
+            return Solution(instance, values, label=f"{solution.label}<-4.4")
+
+        return TransformResult(
+            original=instance,
+            transformed=transformed,
+            back_map=back_map,
+            ratio_factor=1.0,
+            name=self.name,
+            metadata={
+                "split_agents": len(multi),
+                "num_agents_after": len(agents),
+                "num_constraints_after": len(constraints),
+            },
+        )

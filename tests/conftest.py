@@ -1,0 +1,170 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.builder import InstanceBuilder
+from repro.core.instance import MaxMinInstance
+from repro.core.lp import solve_maxmin_lp
+from repro.core.solution import Solution
+from repro.generators import (
+    cycle_instance,
+    objective_ring_instance,
+    random_instance,
+    random_special_form_instance,
+    regular_special_form_instance,
+    sensor_network_instance,
+    torus_instance,
+)
+
+# ----------------------------------------------------------------------
+# Tiny hand-built instances
+# ----------------------------------------------------------------------
+
+
+def build_tiny_instance() -> MaxMinInstance:
+    """Two agents sharing one constraint and one objective (optimum 1)."""
+    builder = InstanceBuilder(name="tiny")
+    builder.add_constraint_term("i1", "a", 1.0)
+    builder.add_constraint_term("i1", "b", 1.0)
+    builder.add_objective_term("k1", "a", 1.0)
+    builder.add_objective_term("k1", "b", 1.0)
+    return builder.build()
+
+
+def build_general_instance() -> MaxMinInstance:
+    """A small general instance with ΔI = 3, ΔK = 2 and |K_v| up to 2."""
+    builder = InstanceBuilder(name="small-general")
+    builder.add_packing_constraint("i0", {"v0": 1.0, "v1": 2.0, "v2": 1.0})
+    builder.add_packing_constraint("i1", {"v1": 1.0, "v3": 1.0})
+    builder.add_packing_constraint("i2", {"v2": 0.5, "v4": 1.5})
+    builder.add_covering_objective("k0", {"v0": 1.0, "v3": 0.5})
+    builder.add_covering_objective("k1", {"v1": 2.0, "v2": 1.0})
+    builder.add_covering_objective("k2", {"v2": 1.0, "v4": 1.0})
+    return builder.build()
+
+
+def build_degenerate_instance() -> MaxMinInstance:
+    """An instance with every kind of degeneracy §4 mentions."""
+    builder = InstanceBuilder(name="degenerate")
+    # Normal core.
+    builder.add_constraint_term("i_core", "a", 1.0)
+    builder.add_constraint_term("i_core", "b", 1.0)
+    builder.add_objective_term("k_core", "a", 1.0)
+    builder.add_objective_term("k_core", "b", 1.0)
+    # Isolated constraint and isolated objective.
+    builder.add_constraint("i_isolated")
+    builder.add_objective("k_isolated")
+    # Non-contributing agent (constraint but no objective).
+    builder.add_constraint_term("i_nc", "c", 1.0)
+    builder.add_constraint_term("i_nc", "a", 1.0)
+    # Unconstrained agent (objective but no constraint).
+    builder.add_objective_term("k_unc", "d", 2.0)
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+# Pytest fixtures
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def tiny_instance() -> MaxMinInstance:
+    return build_tiny_instance()
+
+
+@pytest.fixture
+def general_instance() -> MaxMinInstance:
+    return build_general_instance()
+
+
+@pytest.fixture
+def degenerate_instance() -> MaxMinInstance:
+    return build_degenerate_instance()
+
+
+@pytest.fixture
+def special_form_cycle() -> MaxMinInstance:
+    return cycle_instance(6, coefficient_range=(0.5, 2.0), seed=11)
+
+
+@pytest.fixture
+def unit_cycle() -> MaxMinInstance:
+    return cycle_instance(6)
+
+
+@pytest.fixture
+def ring_instance() -> MaxMinInstance:
+    return objective_ring_instance(4, 3)
+
+
+@pytest.fixture
+def random_general() -> MaxMinInstance:
+    return random_instance(18, delta_I=3, delta_K=3, extra_constraints=2, extra_objectives=2, seed=7)
+
+
+@pytest.fixture
+def random_special() -> MaxMinInstance:
+    return random_special_form_instance(14, delta_K=3, constraint_rounds=2, seed=9)
+
+
+def special_form_family():
+    """A small family of special-form instances used by several test modules."""
+    return [
+        cycle_instance(5, coefficient_range=(0.5, 2.0), seed=1),
+        cycle_instance(8),
+        random_special_form_instance(12, delta_K=3, constraint_rounds=1, seed=3),
+        random_special_form_instance(16, delta_K=4, constraint_rounds=2, seed=4),
+        regular_special_form_instance(4, 3, constraint_rounds=2, seed=5),
+        objective_ring_instance(4, 3),
+    ]
+
+
+def general_family():
+    """A small family of general instances used by several test modules."""
+    return [
+        build_general_instance(),
+        random_instance(15, delta_I=3, delta_K=2, extra_constraints=2, extra_objectives=1, seed=21),
+        random_instance(20, delta_I=4, delta_K=3, extra_constraints=3, extra_objectives=3, seed=22),
+        torus_instance(3, 4, seed=23),
+        sensor_network_instance(12, 4, seed=24).instance,
+        objective_ring_instance(3, 4),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Assertion helpers
+# ----------------------------------------------------------------------
+
+
+def assert_feasible(solution: Solution, tol: float = 1e-8) -> None:
+    report = solution.check_feasibility(tol)
+    assert report.feasible, (
+        f"solution {solution.label!r} infeasible: max violation {report.max_violation}, "
+        f"violated={report.violated_constraints[:3]}, negative={report.negative_agents[:3]}"
+    )
+
+
+def assert_within_guarantee(
+    instance: MaxMinInstance,
+    solution: Solution,
+    guaranteed_ratio: float,
+    optimum: float | None = None,
+    tol: float = 1e-6,
+) -> float:
+    """Assert ``optimum ≤ guaranteed_ratio · utility`` and return the measured ratio."""
+    if optimum is None:
+        optimum = solve_maxmin_lp(instance).optimum
+    utility = solution.utility()
+    if optimum <= tol:
+        return 1.0
+    assert utility > 0.0, f"zero utility against positive optimum {optimum} on {instance.name}"
+    measured = optimum / utility
+    assert measured <= guaranteed_ratio * (1.0 + tol), (
+        f"guarantee violated on {instance.name}: measured {measured:.6f} > "
+        f"guaranteed {guaranteed_ratio:.6f} (opt={optimum:.6f}, util={utility:.6f})"
+    )
+    return measured

@@ -1,0 +1,97 @@
+"""Tests for the ablation variants: the paper's design choices are load-bearing."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algo.ablations import ABLATION_VARIANTS, ablation_report, solve_ablation
+from repro.algo.local_solver import SpecialFormLocalSolver
+from repro.exceptions import NotSpecialFormError
+from repro.generators import cycle_instance, objective_ring_instance, random_special_form_instance
+
+from conftest import assert_feasible
+
+
+def heterogeneous_cycle():
+    return cycle_instance(9, coefficient_range=(0.3, 3.0), seed=5)
+
+
+class TestSolveAblation:
+    def test_full_variant_matches_reference_solver(self):
+        instance = heterogeneous_cycle()
+        for R in (2, 3):
+            reference = SpecialFormLocalSolver(R=R).solve(instance).solution
+            ablated = solve_ablation(instance, R, "full")
+            for v in instance.agents:
+                assert ablated[v] == pytest.approx(reference[v], abs=1e-12)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            solve_ablation(heterogeneous_cycle(), 3, "bogus")
+
+    def test_requires_special_form(self, general_instance):
+        with pytest.raises(NotSpecialFormError):
+            solve_ablation(general_instance, 3, "full")
+
+    def test_no_smoothing_breaks_feasibility_for_r_ge_1(self):
+        """Dropping the smoothing step makes the output infeasible (R = 3)."""
+        instance = heterogeneous_cycle()
+        assert solve_ablation(instance, 3, "full").is_feasible()
+        ablated = solve_ablation(instance, 3, "no_smoothing")
+        report = ablated.check_feasibility()
+        assert not report.feasible
+        assert report.max_violation > 1e-3
+
+    def test_down_only_breaks_feasibility(self):
+        """Skipping the up/down averaging (down view only) violates constraints."""
+        instance = random_special_form_instance(16, delta_K=3, constraint_rounds=2, seed=3)
+        ablated = solve_ablation(instance, 3, "down_only")
+        assert not ablated.is_feasible()
+
+    def test_up_only_is_feasible_but_loses_the_guarantee(self):
+        """The up view alone is dominated by the full output (feasible) but
+        can have utility arbitrarily close to zero."""
+        instance = heterogeneous_cycle()
+        full = solve_ablation(instance, 3, "full")
+        up_only = solve_ablation(instance, 3, "up_only")
+        assert_feasible(up_only)
+        for v in instance.agents:
+            assert up_only[v] <= full[v] + 1e-12
+        # The guarantee of the full algorithm would be 1.5; the ablation is
+        # at least an order of magnitude worse on this instance.
+        guarantee = 2 * (1 - 1 / instance.delta_K) * (1 + 1 / 2)
+        from repro.core.lp import solve_maxmin_lp
+
+        optimum = solve_maxmin_lp(instance).optimum
+        assert optimum / full.utility() <= guarantee + 1e-9
+        assert up_only.utility() < full.utility() / 10
+
+    def test_r2_variants_collapse_to_full_on_symmetric_instances(self):
+        # On the perfectly symmetric ring at R = 2 every variant that keeps
+        # both recursion directions coincides with the full algorithm.
+        instance = objective_ring_instance(4, 3)
+        full = solve_ablation(instance, 2, "full")
+        no_smooth = solve_ablation(instance, 2, "no_smoothing")
+        for v in instance.agents:
+            assert no_smooth[v] == pytest.approx(full[v], abs=1e-12)
+
+
+class TestAblationReport:
+    def test_report_shape_and_content(self):
+        instances = {"cycle": heterogeneous_cycle(), "ring": objective_ring_instance(4, 3)}
+        rows = ablation_report(instances, R_values=(2, 3), variants=ABLATION_VARIANTS)
+        assert len(rows) == 2 * 2 * len(ABLATION_VARIANTS)
+        # The full variant is feasible and within its guarantee on every row.
+        for row in rows:
+            if row["variant"] == "full":
+                assert row["feasible"]
+                guarantee = 2 * (1 - 1 / 3) * (1 + 1 / (row["R"] - 1))
+                assert row["measured_ratio"] <= guarantee + 1e-7
+        # At least one ablated row demonstrates an actual failure.
+        assert any(not row["feasible"] for row in rows if row["variant"] != "full")
+
+    def test_infinite_ratio_reported_for_zero_utility(self):
+        rows = ablation_report({"cycle": heterogeneous_cycle()}, R_values=(2,), variants=("up_only",))
+        assert all(math.isinf(row["measured_ratio"]) or row["measured_ratio"] > 0 for row in rows)

@@ -1,0 +1,151 @@
+"""Tests for the §6 layering / shifting analysis machinery.
+
+No *finite* special-form instance admits an exact layering (the paper works
+on infinite unfoldings), but layers are only ever used modulo ``4R`` by the
+shifting strategy, and cycles whose segment count is a multiple of ``R`` do
+admit a consistent mod-``4R`` layering.  On those instances Lemmata 8, 9 and
+10 become directly checkable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._types import NodeType
+from repro.algo.layers import (
+    LayeringError,
+    assign_layers,
+    averaged_shifted_solution,
+    is_layerable,
+    shifted_solution,
+)
+from repro.algo.local_solver import SpecialFormLocalSolver
+from repro.generators import cycle_instance
+
+from conftest import assert_feasible
+
+
+def layered_cycle(R: int, multiples: int = 2, seed: int = 0):
+    """A cycle with ``R * multiples`` segments plus its mod-4R layering."""
+    instance = cycle_instance(R * multiples, coefficient_range=(0.8, 1.25), seed=seed)
+    layering = assign_layers(instance, modulus=4 * R)
+    return instance, layering
+
+
+class TestLayering:
+    def test_exact_layering_of_finite_instance_fails(self):
+        # Finite special-form instances always contain an inconsistent cycle.
+        instance = cycle_instance(6)
+        assert not is_layerable(instance)
+        with pytest.raises(LayeringError):
+            assign_layers(instance)
+
+    @pytest.mark.parametrize("R", [2, 3])
+    def test_mod_layering_exists_when_R_divides_segments(self, R):
+        instance, layering = layered_cycle(R)
+        assert layering.check() == []
+
+    def test_mod_layering_fails_when_R_does_not_divide(self):
+        instance = cycle_instance(5)
+        with pytest.raises(LayeringError):
+            assign_layers(instance, modulus=8)  # R = 2 does not divide 5
+
+    def test_lemma8_residues(self):
+        instance, layering = layered_cycle(3)
+        for node, layer in layering.layers.items():
+            kind, name = node
+            if kind is NodeType.OBJECTIVE:
+                assert layer % 4 == 0
+            elif kind is NodeType.CONSTRAINT:
+                assert layer % 4 == 2
+            elif layering.roles[name] == "down":
+                assert layer % 4 == 1
+            else:
+                assert layer % 4 == 3
+
+    def test_role_constraints(self):
+        instance, layering = layered_cycle(2, multiples=3)
+        for i in instance.constraints:
+            roles = [layering.roles[v] for v in instance.agents_of_constraint(i)]
+            assert sorted(roles) == ["down", "up"]
+        for k in instance.objectives:
+            roles = [layering.roles[v] for v in instance.agents_of_objective(k)]
+            assert roles.count("up") == 1
+
+    def test_invalid_arguments(self):
+        instance = cycle_instance(4)
+        with pytest.raises(LayeringError):
+            assign_layers(instance, modulus=6)  # not a multiple of 4
+        with pytest.raises(LayeringError):
+            assign_layers(instance, root_objective="nope", modulus=8)
+        with pytest.raises(LayeringError):
+            assign_layers(instance, up_agent="v0", root_objective="k2", modulus=8)
+
+    def test_accessors(self):
+        instance, layering = layered_cycle(2)
+        v = instance.agents[0]
+        assert layering.layer_of_agent(v) == layering.layers[(NodeType.AGENT, v)]
+        assert layering.layer_of_objective(layering.root_objective) == 0
+        assert isinstance(layering.is_up(v), bool)
+
+
+class TestShiftingStrategy:
+    @pytest.mark.parametrize("R", [2, 3])
+    def test_lemma9_feasibility_and_objective_bounds(self, R):
+        instance, layering = layered_cycle(R)
+        result = SpecialFormLocalSolver(R=R).solve(instance)
+        for j in range(R):
+            y_j = shifted_solution(layering, result.g, R, j)
+            assert_feasible(y_j)
+            for k in instance.objectives:
+                layer = layering.layer_of_objective(k)
+                value = y_j.objective_value(k)
+                min_s = min(result.smoothed_bounds[v] for v in instance.agents_of_objective(k))
+                if layer % (4 * R) == (4 * j - 4) % (4 * R):
+                    assert value == pytest.approx(0.0, abs=1e-9)
+                else:
+                    assert value >= min_s - 1e-8
+
+    @pytest.mark.parametrize("R", [2, 3])
+    def test_lemma10_averaged_solution(self, R):
+        instance, layering = layered_cycle(R)
+        result = SpecialFormLocalSolver(R=R).solve(instance)
+        y = averaged_shifted_solution(layering, result.g, R)
+        assert_feasible(y)
+        for k in instance.objectives:
+            min_s = min(result.smoothed_bounds[v] for v in instance.agents_of_objective(k))
+            assert y.objective_value(k) >= (1 - 1 / R) * min_s - 1e-8
+
+    def test_eq20_closed_form(self):
+        """The average of the y(j) equals the closed form of Eq. 20."""
+        R = 3
+        instance, layering = layered_cycle(R)
+        result = SpecialFormLocalSolver(R=R).solve(instance)
+        y = averaged_shifted_solution(layering, result.g, R)
+        r = R - 2
+        for v in instance.agents:
+            if layering.is_up(v):
+                expected = sum(result.g.minus(v, d) for d in range(r + 1)) / R
+            else:
+                expected = sum(result.g.plus(v, d) for d in range(r + 1)) / R
+            assert y[v] == pytest.approx(expected, abs=1e-12)
+
+    def test_output_is_average_of_up_and_down_views(self):
+        """Eq. 18 is the average of the two role-specific Eq. 20 vectors."""
+        R = 2
+        instance, layering = layered_cycle(R)
+        result = SpecialFormLocalSolver(R=R).solve(instance)
+        r = R - 2
+        for v in instance.agents:
+            up_view = sum(result.g.minus(v, d) for d in range(r + 1)) / R
+            down_view = sum(result.g.plus(v, d) for d in range(r + 1)) / R
+            assert result.solution[v] == pytest.approx((up_view + down_view) / 2.0, abs=1e-12)
+
+    def test_shift_parameter_validation(self):
+        R = 2
+        instance, layering = layered_cycle(R)
+        result = SpecialFormLocalSolver(R=R).solve(instance)
+        with pytest.raises(ValueError):
+            shifted_solution(layering, result.g, R, R)  # j out of range
+        with pytest.raises(ValueError):
+            shifted_solution(layering, result.g, R + 1, 0)  # depth mismatch

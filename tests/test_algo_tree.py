@@ -1,0 +1,229 @@
+"""Tests for the alternating tree, the f± recursion and the t_u / s_v bounds.
+
+These are the executable versions of Lemmata 1–4 of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro._types import NodeType
+from repro.algo.alternating_tree import build_alternating_tree
+from repro.algo.tree_recursion import evaluate_recursion, recursion_feasible, recursion_margin
+from repro.algo.upper_bound import (
+    compute_upper_bounds,
+    smooth_upper_bounds,
+    tree_optimum,
+    tree_optimum_binary_search,
+    tree_optimum_lp,
+)
+from repro.core.lp import solve_maxmin_lp
+from repro.exceptions import InvalidInstanceError, NotSpecialFormError
+from repro.generators import cycle_instance, objective_ring_instance, random_special_form_instance
+
+from conftest import special_form_family
+
+
+class TestAlternatingTreeStructure:
+    """Lemma 1: A_u is a finite tree with the stated level structure."""
+
+    @pytest.mark.parametrize("r", [0, 1, 2])
+    def test_structure_on_cycle(self, r):
+        instance = cycle_instance(8, coefficient_range=(0.5, 2.0), seed=1)
+        for u in instance.agents[:4]:
+            tree = build_alternating_tree(instance, u, r)
+            assert tree.check_structure() == []
+            assert tree.root.level == -1
+            assert tree.levels[0] == -2
+            assert tree.levels[-1] == 4 * r + 2
+
+    def test_structure_on_family(self):
+        for instance in special_form_family():
+            u = instance.agents[0]
+            tree = build_alternating_tree(instance, u, 1)
+            assert tree.check_structure() == []
+
+    def test_levels_by_kind(self):
+        instance = cycle_instance(10)
+        tree = build_alternating_tree(instance, instance.agents[0], 2)
+        for node in tree.nodes:
+            if node.kind is NodeType.OBJECTIVE:
+                assert node.level % 4 == 0
+            elif node.kind is NodeType.CONSTRAINT:
+                assert node.level == -2 or node.level % 4 == 2
+            else:
+                assert node.level % 2 == 1 or node.level == -1
+
+    def test_leaves_are_constraints(self):
+        instance = random_special_form_instance(14, delta_K=3, constraint_rounds=2, seed=3)
+        tree = build_alternating_tree(instance, instance.agents[0], 1)
+        for node in tree.nodes:
+            if not node.children:
+                assert node.kind is NodeType.CONSTRAINT
+                assert node.level in (-2, tree.max_level)
+
+    def test_objectives_complete(self):
+        """Every objective of A_u carries all agents adjacent to it in G."""
+        instance = objective_ring_instance(4, 3)
+        tree = build_alternating_tree(instance, instance.agents[0], 1)
+        for node in tree.nodes:
+            if node.kind is NodeType.OBJECTIVE:
+                members = {node.parent.name} | {c.name for c in node.children}
+                assert members == set(instance.agents_of_objective(node.name))
+
+    def test_unfolding_repeats_nodes_on_short_cycles(self):
+        # In a 2-segment cycle (girth 8) with r=2 the walk length 4r+3 = 11
+        # exceeds the girth, so the same instance agent appears multiple times
+        # in A_u (nodes of A_u are walks of the unfolding, not graph nodes).
+        instance = cycle_instance(2)
+        tree = build_alternating_tree(instance, instance.agents[0], 2)
+        agent_names = [n.name for n in tree.agent_nodes()]
+        assert len(agent_names) > len(set(agent_names))
+
+    def test_size_grows_with_r(self):
+        instance = cycle_instance(12)
+        sizes = [build_alternating_tree(instance, "v0", r).size() for r in range(3)]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_invalid_inputs(self):
+        instance = cycle_instance(4)
+        with pytest.raises(InvalidInstanceError):
+            build_alternating_tree(instance, "v0", -1)
+        with pytest.raises(InvalidInstanceError):
+            build_alternating_tree(instance, "does-not-exist", 1)
+        from conftest import build_general_instance
+
+        with pytest.raises(NotSpecialFormError):
+            build_alternating_tree(build_general_instance(), "v0", 1)
+
+    def test_as_instance_inherits_coefficients(self):
+        instance = cycle_instance(6, coefficient_range=(0.5, 2.0), seed=2)
+        tree = build_alternating_tree(instance, "v0", 1)
+        tree_instance = tree.as_instance()
+        assert tree_instance.num_agents == sum(1 for _ in tree.agent_nodes())
+        # Every tree edge's coefficient matches the parent edge in G.
+        for node in tree.nodes:
+            if node.parent is None or node.kind is not NodeType.AGENT:
+                continue
+            parent = node.parent
+            if parent.kind is NodeType.CONSTRAINT:
+                assert tree_instance.a(parent.index, node.index) == pytest.approx(
+                    instance.a(parent.name, node.name)
+                )
+            else:
+                assert tree_instance.c(parent.index, node.index) == pytest.approx(
+                    instance.c(parent.name, node.name)
+                )
+
+
+class TestRecursion:
+    """Lemma 3: the recursion characterises the optimum of A_u."""
+
+    def test_zero_is_always_feasible(self):
+        for instance in special_form_family():
+            tree = build_alternating_tree(instance, instance.agents[0], 1)
+            assert recursion_feasible(tree, 0.0)
+
+    def test_margin_monotone_in_omega(self):
+        instance = cycle_instance(6, coefficient_range=(0.5, 2.0), seed=4)
+        tree = build_alternating_tree(instance, "v0", 1)
+        omegas = [0.0, 0.3, 0.6, 0.9, 1.2, 1.5, 2.0]
+        margins = [recursion_margin(tree, w) for w in omegas]
+        assert all(a >= b - 1e-12 for a, b in zip(margins, margins[1:]))
+
+    def test_recursion_values_structure(self):
+        instance = cycle_instance(6)
+        tree = build_alternating_tree(instance, "v0", 1)
+        values = evaluate_recursion(tree, 0.5)
+        # f+ defined exactly on levels ≡ 1 (mod 4), f− on ≡ 3 (mod 4) and the root.
+        for node in tree.agent_nodes():
+            if node.level % 4 == 1:
+                assert node.index in values.f_plus
+            else:
+                assert node.index in values.f_minus
+        assert tree.root.index in values.f_minus
+
+    def test_depth_indexing(self):
+        instance = cycle_instance(8)
+        tree = build_alternating_tree(instance, "v0", 2)
+        values = evaluate_recursion(tree, 0.2)
+        for node in tree.agent_nodes():
+            d = values.depth_of[node.index]
+            if node.level % 4 == 1:
+                assert node.level == 4 * (tree.r - d) + 1
+            else:
+                assert node.level == 4 * (tree.r - d) - 1
+
+    def test_binary_search_matches_lp(self):
+        """The practical binary search and the exact tree LP agree (Lemma 3)."""
+        for instance in special_form_family():
+            for u in instance.agents[:3]:
+                for r in (0, 1):
+                    tree = build_alternating_tree(instance, u, r)
+                    bs = tree_optimum_binary_search(tree, tol=1e-11)
+                    lp = tree_optimum_lp(tree)
+                    assert bs == pytest.approx(lp, rel=1e-6, abs=1e-7)
+
+    def test_tree_optimum_dispatch(self):
+        instance = cycle_instance(5)
+        tree = build_alternating_tree(instance, "v0", 1)
+        assert tree_optimum(tree, "recursion") == pytest.approx(tree_optimum(tree, "lp"), abs=1e-7)
+        with pytest.raises(ValueError):
+            tree_optimum(tree, "nope")
+
+
+class TestUpperBounds:
+    """Lemma 2: t_u (and hence s_v) upper-bounds every feasible utility of G."""
+
+    @pytest.mark.parametrize("r", [0, 1])
+    def test_tu_upper_bounds_global_optimum(self, r):
+        for instance in special_form_family():
+            optimum = solve_maxmin_lp(instance).optimum
+            bounds = compute_upper_bounds(instance, r)
+            for u, t_u in bounds.items():
+                assert t_u >= optimum - 1e-7, f"t_u({u!r}) = {t_u} < opt = {optimum}"
+
+    def test_tu_decreases_with_r(self):
+        # Larger r means a bigger tree, hence more constraints and a bound at
+        # least as tight (never larger).
+        instance = cycle_instance(10, coefficient_range=(0.5, 2.0), seed=6)
+        b0 = compute_upper_bounds(instance, 0)
+        b1 = compute_upper_bounds(instance, 1)
+        for u in instance.agents:
+            assert b1[u] <= b0[u] + 1e-9
+
+    def test_smoothing_is_min_over_ball(self):
+        instance = cycle_instance(8, coefficient_range=(0.5, 2.0), seed=7)
+        r = 1
+        bounds = compute_upper_bounds(instance, r)
+        smoothed = smooth_upper_bounds(instance, bounds, r)
+        # s_v <= t_v and s_v >= global min of t.
+        global_min = min(bounds.values())
+        for v in instance.agents:
+            assert smoothed[v] <= bounds[v] + 1e-12
+            assert smoothed[v] >= global_min - 1e-12
+
+    def test_smoothing_radius_covers_everything_on_small_instance(self):
+        # On a small instance the 4r+2 ball covers the whole graph, so s_v is
+        # the global minimum for every v.
+        instance = cycle_instance(3)
+        bounds = compute_upper_bounds(instance, 1)
+        smoothed = smooth_upper_bounds(instance, bounds, 1)
+        global_min = min(bounds.values())
+        for v in instance.agents:
+            assert smoothed[v] == pytest.approx(global_min)
+
+    def test_bounds_for_subset_of_agents(self):
+        instance = cycle_instance(6)
+        subset = instance.agents[:2]
+        bounds = compute_upper_bounds(instance, 1, agents=subset)
+        assert set(bounds) == set(subset)
+
+    def test_lp_method_agrees_with_recursion_method(self):
+        instance = random_special_form_instance(12, delta_K=3, seed=8)
+        rec = compute_upper_bounds(instance, 1, method="recursion")
+        lp = compute_upper_bounds(instance, 1, method="lp")
+        for u in instance.agents:
+            assert rec[u] == pytest.approx(lp[u], rel=1e-6, abs=1e-7)

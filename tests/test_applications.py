@@ -1,0 +1,131 @@
+"""Tests for the application layer (packing/covering, linear systems, fairness)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algo.general_solver import LocalMaxMinSolver
+from repro.applications import (
+    build_equation_instance,
+    build_packing_covering_instance,
+    jain_index,
+    min_mean_ratio,
+    service_statistics,
+    solve_nonnegative_system,
+    solve_packing_covering,
+)
+from repro.core.lp import solve_maxmin_lp
+from repro.core.solution import Solution
+from repro.exceptions import InvalidInstanceError
+from repro.generators import sensor_network_instance
+
+
+class TestPackingCovering:
+    def test_instance_construction(self):
+        inst = build_packing_covering_instance(
+            {"p": {"x": 1.0, "y": 1.0}}, {"c": {"x": 2.0, "y": 1.0}}
+        )
+        assert inst.num_agents == 2
+        assert inst.a("p", "x") == 1.0
+        assert inst.c("c", "x") == 2.0
+
+    def test_feasible_system(self):
+        # x + y <= 1, x + y >= 0.5 is comfortably feasible.
+        result = solve_packing_covering(
+            {"p": {"x": 1.0, "y": 1.0}},
+            {"c": {"x": 2.0, "y": 2.0}},
+            solver=LocalMaxMinSolver(R=3),
+        )
+        assert result.certified_feasible
+        assert result.status == "feasible"
+        assert result.witness.is_feasible()
+        # The witness satisfies the covering side outright.
+        assert result.witness.objective_value("c") >= 1.0 - 1e-9
+
+    def test_infeasible_system(self):
+        # x <= 1 (coeff 2 -> x <= 0.5) but we need x >= 1: infeasible.
+        result = solve_packing_covering({"p": {"x": 2.0}}, {"c": {"x": 1.0}})
+        assert not result.certified_feasible
+        assert result.omega < 1.0
+
+    def test_approximately_feasible_band(self):
+        # Construct a system whose max-min optimum is exactly 1 (tight): the
+        # approximation may return omega < 1 but alpha*omega >= 1 can certify.
+        result = solve_packing_covering(
+            {"p1": {"x": 1.0, "y": 1.0}},
+            {"c1": {"x": 1.0, "y": 1.0}},
+            solver=LocalMaxMinSolver(R=4),
+        )
+        assert result.status in ("feasible", "approximately-feasible")
+        assert result.alpha >= 1.0
+
+    def test_result_repr(self):
+        result = solve_packing_covering({"p": {"x": 2.0}}, {"c": {"x": 1.0}})
+        assert "PackingCoveringResult" in repr(result)
+
+
+class TestLinearEquations:
+    def test_instance_construction_and_validation(self):
+        inst = build_equation_instance({"e": {"x": 2.0}}, {"e": 4.0})
+        assert inst.a(("eq", "e"), "x") == pytest.approx(0.5)
+        assert inst.c(("cov", "e"), "x") == pytest.approx(0.5)
+        with pytest.raises(InvalidInstanceError):
+            build_equation_instance({"e": {"x": 1.0}}, {"e": 0.0})
+        with pytest.raises(InvalidInstanceError):
+            build_equation_instance({"e": {"x": -1.0}}, {"e": 1.0})
+
+    def test_solvable_diagonal_system(self):
+        result = solve_nonnegative_system(
+            {"e1": {"x": 2.0}, "e2": {"y": 4.0}},
+            {"e1": 1.0, "e2": 2.0},
+            solver=LocalMaxMinSolver(R=3),
+        )
+        # Residual ratios stay within (0, 1]; packing side is never exceeded.
+        assert 0.0 < result.residual_low <= result.residual_high <= 1.0 + 1e-9
+        assert result.max_relative_error() < 1.0
+
+    def test_coupled_system_quality(self):
+        equations = {"e1": {"x": 1.0, "y": 1.0}, "e2": {"y": 2.0}}
+        rhs = {"e1": 2.0, "e2": 2.0}
+        result = solve_nonnegative_system(equations, rhs, solver=LocalMaxMinSolver(R=4))
+        assert result.omega == result.residual_low
+        # The guarantee of the solver bounds how far below 1 the residual can be.
+        inst = build_equation_instance(equations, rhs)
+        optimum = solve_maxmin_lp(inst).optimum
+        assert optimum == pytest.approx(1.0, abs=1e-9)  # exactly solvable
+        assert result.residual_low >= 1.0 / LocalMaxMinSolver(R=4).guaranteed_ratio(inst) - 1e-6
+
+    def test_zero_coefficients_skipped(self):
+        inst = build_equation_instance({"e": {"x": 0.0, "y": 1.0}}, {"e": 1.0})
+        assert inst.num_agents == 1
+
+
+class TestFairnessMetrics:
+    def test_jain_index(self):
+        assert jain_index([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+        assert jain_index([1.0, 0.0, 0.0]) == pytest.approx(1.0 / 3.0)
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_min_mean_ratio(self):
+        assert min_mean_ratio([2.0, 2.0]) == pytest.approx(1.0)
+        assert min_mean_ratio([1.0, 3.0]) == pytest.approx(0.5)
+        assert min_mean_ratio([]) == 1.0
+        assert min_mean_ratio([0.0, 0.0]) == 1.0
+
+    def test_service_statistics_on_solution(self):
+        network = sensor_network_instance(10, 3, seed=1)
+        result = LocalMaxMinSolver(R=3).solve(network.instance)
+        stats = service_statistics(result.solution)
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+        assert 0.0 < stats["jain_index"] <= 1.0
+        assert stats["min"] == pytest.approx(result.utility())
+
+    def test_service_statistics_no_objectives(self):
+        from repro.core.instance import MaxMinInstance
+
+        inst = MaxMinInstance(["a"], ["i"], [], {("i", "a"): 1.0}, {})
+        stats = service_statistics(Solution(inst, {"a": 0.0}))
+        assert math.isinf(stats["min"])

@@ -1,0 +1,162 @@
+"""Unit tests for the instance builder and the solution objects."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.builder import InstanceBuilder
+from repro.core.solution import Solution
+from repro.exceptions import InfeasibleSolutionError, InvalidInstanceError
+
+
+class TestInstanceBuilder:
+    def test_fluent_chaining(self):
+        builder = (
+            InstanceBuilder("chain")
+            .add_agent("a")
+            .add_agents(["b", "c"])
+            .add_constraint("i")
+            .add_objective("k")
+        )
+        assert builder.num_agents == 3
+        assert builder.num_constraints == 1
+        assert builder.num_objectives == 1
+
+    def test_terms_declare_nodes(self):
+        builder = InstanceBuilder()
+        builder.add_constraint_term("i", "a", 2.0)
+        builder.add_objective_term("k", "a", 1.0)
+        inst = builder.build()
+        assert inst.num_agents == 1 and inst.num_constraints == 1 and inst.num_objectives == 1
+        assert inst.a("i", "a") == 2.0
+
+    def test_row_helpers(self):
+        builder = InstanceBuilder()
+        builder.add_packing_constraint("i", {"a": 1.0, "b": 2.0})
+        builder.add_covering_objective("k", {"a": 1.0, "b": 1.0})
+        inst = builder.build()
+        assert set(inst.agents_of_constraint("i")) == {"a", "b"}
+        assert set(inst.agents_of_objective("k")) == {"a", "b"}
+
+    def test_duplicate_term_rejected(self):
+        builder = InstanceBuilder()
+        builder.add_constraint_term("i", "a", 1.0)
+        with pytest.raises(InvalidInstanceError):
+            builder.add_constraint_term("i", "a", 2.0)
+        builder.add_objective_term("k", "a", 1.0)
+        with pytest.raises(InvalidInstanceError):
+            builder.add_objective_term("k", "a", 2.0)
+
+    def test_nonpositive_rejected(self):
+        builder = InstanceBuilder()
+        with pytest.raises(InvalidInstanceError):
+            builder.add_constraint_term("i", "a", 0.0)
+        with pytest.raises(InvalidInstanceError):
+            builder.add_objective_term("k", "a", -1.0)
+
+    def test_declaration_order_is_canonical_order(self):
+        builder = InstanceBuilder()
+        builder.add_objective_term("k", "z", 1.0)
+        builder.add_constraint_term("i", "a", 1.0)
+        builder.add_constraint_term("i", "z", 1.0)
+        inst = builder.build()
+        assert inst.agents == ("z", "a")
+
+    def test_build_is_repeatable(self):
+        builder = InstanceBuilder()
+        builder.add_constraint_term("i", "a", 1.0)
+        builder.add_objective_term("k", "a", 1.0)
+        first = builder.build()
+        builder.add_objective_term("k2", "a", 1.0)
+        second = builder.build()
+        assert first.num_objectives == 1
+        assert second.num_objectives == 2
+
+
+class TestSolution:
+    def test_defaults_missing_agents_to_zero(self, tiny_instance):
+        sol = Solution(tiny_instance, {"a": 0.25})
+        assert sol["a"] == 0.25
+        assert sol["b"] == 0.0
+        assert len(sol) == 2
+        assert list(iter(sol)) == list(tiny_instance.agents)
+
+    def test_unknown_agent_rejected(self, tiny_instance):
+        with pytest.raises(InvalidInstanceError):
+            Solution(tiny_instance, {"zzz": 1.0})
+
+    def test_objective_and_utility(self, tiny_instance):
+        sol = Solution(tiny_instance, {"a": 0.25, "b": 0.5})
+        assert sol.objective_value("k1") == pytest.approx(0.75)
+        assert sol.utility() == pytest.approx(0.75)
+        assert sol.objective_values() == {"k1": pytest.approx(0.75)}
+
+    def test_utility_without_objectives_is_inf(self):
+        from repro.core.instance import MaxMinInstance
+
+        inst = MaxMinInstance(["a"], ["i"], [], {("i", "a"): 1.0}, {})
+        assert math.isinf(Solution(inst, {"a": 1.0}).utility())
+
+    def test_constraint_load_and_slack(self, general_instance):
+        sol = Solution(general_instance, {"v0": 0.5, "v1": 0.25, "v2": 0.0})
+        assert sol.constraint_load("i0") == pytest.approx(0.5 + 0.5)
+        assert sol.constraint_slack("i0") == pytest.approx(0.0)
+
+    def test_feasibility_report(self, tiny_instance):
+        good = Solution(tiny_instance, {"a": 0.5, "b": 0.5})
+        assert good.is_feasible()
+        bad = Solution(tiny_instance, {"a": 0.9, "b": 0.9})
+        report = bad.check_feasibility()
+        assert not report
+        assert report.max_violation == pytest.approx(0.8)
+        assert report.violated_constraints[0][0] == "i1"
+
+    def test_negative_values_flagged(self, tiny_instance):
+        sol = Solution(tiny_instance, {"a": -0.5})
+        report = sol.check_feasibility()
+        assert not report.feasible
+        assert report.negative_agents == (("a", -0.5),)
+
+    def test_require_feasible(self, tiny_instance):
+        Solution(tiny_instance, {"a": 0.5, "b": 0.5}).require_feasible()
+        with pytest.raises(InfeasibleSolutionError):
+            Solution(tiny_instance, {"a": 2.0}).require_feasible()
+
+    def test_bottleneck_objectives(self, general_instance):
+        sol = Solution(general_instance, {"v0": 0.1, "v1": 0.1, "v2": 0.1, "v3": 0.1, "v4": 0.1})
+        bottlenecks = sol.bottleneck_objectives()
+        values = sol.objective_values()
+        best = min(values.values())
+        assert all(values[k] == pytest.approx(best) for k in bottlenecks)
+
+    def test_scaling_and_average(self, tiny_instance):
+        first = Solution(tiny_instance, {"a": 1.0, "b": 0.0})
+        second = Solution(tiny_instance, {"a": 0.0, "b": 1.0})
+        scaled = first.scaled(0.5)
+        assert scaled["a"] == 0.5
+        avg = Solution.average([first, second])
+        assert avg["a"] == pytest.approx(0.5)
+        assert avg["b"] == pytest.approx(0.5)
+        # Convexity: the average of feasible solutions is feasible.
+        assert avg.is_feasible()
+
+    def test_average_requires_same_instance(self, tiny_instance, general_instance):
+        with pytest.raises(InvalidInstanceError):
+            Solution.average(
+                [Solution(tiny_instance, {}), Solution(general_instance, {})]
+            )
+        with pytest.raises(InvalidInstanceError):
+            Solution.average([])
+
+    def test_clipped_nonnegative(self, tiny_instance):
+        sol = Solution(tiny_instance, {"a": -1e-15, "b": 0.5}).clipped_nonnegative()
+        assert sol["a"] == 0.0
+        assert sol["b"] == 0.5
+
+    def test_as_dict_copy(self, tiny_instance):
+        sol = Solution(tiny_instance, {"a": 0.5})
+        values = sol.as_dict()
+        values["a"] = 99.0
+        assert sol["a"] == 0.5

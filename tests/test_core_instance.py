@@ -1,0 +1,230 @@
+"""Unit tests for :mod:`repro.core.instance`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro._types import NodeType, agent_node, constraint_node, objective_node
+from repro.core.instance import MaxMinInstance
+from repro.exceptions import InvalidInstanceError
+
+from conftest import build_general_instance, build_tiny_instance
+
+
+class TestConstruction:
+    def test_basic_counts(self, tiny_instance):
+        assert tiny_instance.num_agents == 2
+        assert tiny_instance.num_constraints == 1
+        assert tiny_instance.num_objectives == 1
+        assert tiny_instance.num_nodes == 4
+        assert tiny_instance.num_edges == 4
+
+    def test_duplicate_agent_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            MaxMinInstance(["a", "a"], [], [], {}, {})
+
+    def test_duplicate_constraint_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            MaxMinInstance(["a"], ["i", "i"], [], {}, {})
+
+    def test_duplicate_objective_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            MaxMinInstance(["a"], [], ["k", "k"], {}, {})
+
+    def test_nonpositive_coefficient_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            MaxMinInstance(["a"], ["i"], ["k"], {("i", "a"): 0.0}, {("k", "a"): 1.0})
+        with pytest.raises(InvalidInstanceError):
+            MaxMinInstance(["a"], ["i"], ["k"], {("i", "a"): 1.0}, {("k", "a"): -2.0})
+
+    def test_nonfinite_coefficient_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            MaxMinInstance(["a"], ["i"], ["k"], {("i", "a"): math.inf}, {("k", "a"): 1.0})
+
+    def test_unknown_node_in_coefficient_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            MaxMinInstance(["a"], ["i"], ["k"], {("i", "zzz"): 1.0}, {})
+        with pytest.raises(InvalidInstanceError):
+            MaxMinInstance(["a"], ["i"], ["k"], {("nope", "a"): 1.0}, {})
+        with pytest.raises(InvalidInstanceError):
+            MaxMinInstance(["a"], ["i"], ["k"], {}, {("nope", "a"): 1.0})
+
+
+class TestAccessors:
+    def test_coefficient_lookup(self, general_instance):
+        assert general_instance.a("i0", "v1") == 2.0
+        assert general_instance.a("i0", "v3") == 0.0
+        assert general_instance.c("k1", "v1") == 2.0
+        assert general_instance.c("k1", "v4") == 0.0
+
+    def test_adjacency(self, general_instance):
+        assert set(general_instance.agents_of_constraint("i0")) == {"v0", "v1", "v2"}
+        assert set(general_instance.constraints_of_agent("v2")) == {"i0", "i2"}
+        assert set(general_instance.objectives_of_agent("v2")) == {"k1", "k2"}
+        assert set(general_instance.agents_of_objective("k0")) == {"v0", "v3"}
+
+    def test_adjacency_unknown_node_raises(self, general_instance):
+        with pytest.raises(InvalidInstanceError):
+            general_instance.agents_of_constraint("nope")
+        with pytest.raises(InvalidInstanceError):
+            general_instance.constraints_of_agent("nope")
+
+    def test_other_agent(self, tiny_instance):
+        assert tiny_instance.other_agent("i1", "a") == "b"
+        assert tiny_instance.other_agent("i1", "b") == "a"
+
+    def test_other_agent_requires_degree_two(self, general_instance):
+        with pytest.raises(InvalidInstanceError):
+            general_instance.other_agent("i0", "v0")
+
+    def test_other_agent_requires_membership(self, tiny_instance):
+        with pytest.raises(InvalidInstanceError):
+            MaxMinInstance(
+                ["a", "b", "c"],
+                ["i"],
+                ["k"],
+                {("i", "a"): 1.0, ("i", "b"): 1.0},
+                {("k", "c"): 1.0},
+            ).other_agent("i", "c")
+
+    def test_unique_objective(self, tiny_instance, general_instance):
+        assert tiny_instance.unique_objective("a") == "k1"
+        with pytest.raises(InvalidInstanceError):
+            general_instance.unique_objective("v2")
+
+    def test_objective_siblings(self, tiny_instance):
+        assert tiny_instance.objective_siblings("a") == ("b",)
+
+    def test_agent_capacity(self, general_instance):
+        # v1 appears in i0 (coeff 2) and i1 (coeff 1): capacity = min(1/2, 1/1).
+        assert general_instance.agent_capacity("v1") == pytest.approx(0.5)
+
+    def test_capacity_unconstrained_is_infinite(self):
+        inst = MaxMinInstance(["a"], [], ["k"], {}, {("k", "a"): 1.0})
+        assert math.isinf(inst.agent_capacity("a"))
+
+    def test_trivial_upper_bound(self, tiny_instance):
+        assert tiny_instance.trivial_upper_bound() == pytest.approx(2.0)
+
+    def test_membership_predicates(self, tiny_instance):
+        assert tiny_instance.has_agent("a")
+        assert not tiny_instance.has_agent("i1")
+        assert tiny_instance.has_constraint("i1")
+        assert tiny_instance.has_objective("k1")
+
+
+class TestDegreesAndPredicates:
+    def test_delta_values(self, general_instance):
+        assert general_instance.delta_I == 3
+        assert general_instance.delta_K == 2
+
+    def test_delta_empty(self):
+        inst = MaxMinInstance(["a"], [], [], {}, {})
+        assert inst.delta_I == 0
+        assert inst.delta_K == 0
+
+    def test_degree_statistics(self, general_instance):
+        stats = general_instance.degree_statistics()
+        assert stats.delta_I == 3
+        assert stats.delta_K == 2
+        assert stats.max_agent_constraint_degree == 2
+        assert stats.max_agent_objective_degree == 2
+        assert stats.as_dict()["delta_I"] == 3
+
+    def test_special_form_detection(self, tiny_instance, general_instance, unit_cycle):
+        assert tiny_instance.is_special_form()
+        assert unit_cycle.is_special_form()
+        assert not general_instance.is_special_form()
+        assert general_instance.special_form_violations()
+
+    def test_zero_one_detection(self, unit_cycle, special_form_cycle):
+        assert unit_cycle.has_zero_one_coefficients()
+        assert not special_form_cycle.has_zero_one_coefficients()
+
+    def test_bipartite_detection(self, unit_cycle, general_instance):
+        assert unit_cycle.is_bipartite_maxmin()
+        assert not general_instance.is_bipartite_maxmin()
+
+    def test_degeneracies(self, degenerate_instance, tiny_instance):
+        assert not tiny_instance.is_degenerate()
+        cats = degenerate_instance.degeneracies()
+        assert "isolated_constraints" in cats
+        assert "isolated_objectives" in cats
+        assert "non_contributing_agents" in cats
+        assert "unconstrained_agents" in cats
+
+
+class TestGraphViews:
+    def test_communication_graph(self, tiny_instance):
+        graph = tiny_instance.communication_graph()
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 4
+        assert graph.nodes[agent_node("a")]["kind"] is NodeType.AGENT
+        assert graph.edges[constraint_node("i1"), agent_node("a")]["coeff"] == 1.0
+
+    def test_neighbours(self, tiny_instance):
+        assert set(tiny_instance.neighbours(agent_node("a"))) == {
+            constraint_node("i1"),
+            objective_node("k1"),
+        }
+        assert set(tiny_instance.neighbours(constraint_node("i1"))) == {
+            agent_node("a"),
+            agent_node("b"),
+        }
+        assert set(tiny_instance.neighbours(objective_node("k1"))) == {
+            agent_node("a"),
+            agent_node("b"),
+        }
+
+    def test_connectivity(self, tiny_instance):
+        assert tiny_instance.is_connected()
+        two = MaxMinInstance(
+            ["a", "b"],
+            ["i1", "i2"],
+            ["k1", "k2"],
+            {("i1", "a"): 1.0, ("i2", "b"): 1.0},
+            {("k1", "a"): 1.0, ("k2", "b"): 1.0},
+        )
+        assert not two.is_connected()
+        components = two.connected_components()
+        assert len(components) == 2
+        assert {c.num_agents for c in components} == {1}
+
+    def test_sub_instance(self, general_instance):
+        sub = general_instance.sub_instance(["v0", "v1"], ["i0"], ["k0"])
+        assert sub.num_agents == 2
+        assert sub.num_constraints == 1
+        assert sub.a("i0", "v0") == 1.0
+        assert sub.a("i0", "v2") == 0.0  # dropped agent
+
+
+class TestEqualityAndSerialization:
+    def test_equality_and_hash(self):
+        first = build_tiny_instance()
+        second = build_tiny_instance()
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != build_general_instance()
+        assert first != "not an instance"
+
+    def test_structural_equality_with_tolerance(self, tiny_instance):
+        perturbed = MaxMinInstance(
+            tiny_instance.agents,
+            tiny_instance.constraints,
+            tiny_instance.objectives,
+            {key: val + 1e-12 for key, val in tiny_instance.a_coefficients.items()},
+            tiny_instance.c_coefficients,
+        )
+        assert tiny_instance.structurally_equal(perturbed, tol=1e-9)
+        assert not tiny_instance.structurally_equal(perturbed, tol=0.0)
+
+    def test_dict_roundtrip(self, general_instance):
+        restored = MaxMinInstance.from_dict(general_instance.to_dict())
+        assert restored == general_instance
+        assert restored.name == general_instance.name
+
+    def test_repr(self, general_instance):
+        text = repr(general_instance)
+        assert "MaxMinInstance" in text and "deltaI=3" in text

@@ -1,0 +1,224 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lp import solve_maxmin_lp
+from repro.exceptions import InvalidInstanceError
+from repro.generators import (
+    bandwidth_allocation_instance,
+    cycle_instance,
+    defect_cycle_instance,
+    half_half_cycle_pair,
+    hard_ring_pair,
+    indistinguishable_cycle_pair,
+    jitter_coefficients,
+    objective_ring_instance,
+    perturb_coefficient,
+    random_instance,
+    random_special_form_instance,
+    regular_general_instance,
+    regular_special_form_instance,
+    sensor_network_instance,
+    torus_instance,
+)
+
+
+class TestRandomInstances:
+    def test_degree_bounds_and_nondegeneracy(self):
+        for seed in range(5):
+            inst = random_instance(
+                20, delta_I=3, delta_K=4, extra_constraints=4, extra_objectives=4, seed=seed
+            )
+            assert inst.delta_I <= 3
+            assert inst.delta_K <= 4
+            assert not inst.is_degenerate()
+            assert inst.num_agents == 20
+
+    def test_determinism(self):
+        a = random_instance(15, seed=42)
+        b = random_instance(15, seed=42)
+        c = random_instance(15, seed=43)
+        assert a == b
+        assert a != c
+
+    def test_zero_one_flag(self):
+        inst = random_instance(12, zero_one=True, seed=1)
+        assert inst.has_zero_one_coefficients()
+
+    def test_extra_rows_create_multi_objective_agents(self):
+        inst = random_instance(20, delta_K=3, extra_objectives=10, seed=3)
+        assert any(len(inst.objectives_of_agent(v)) > 1 for v in inst.agents)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            random_instance(1)
+        with pytest.raises(ValueError):
+            random_instance(10, delta_I=1)
+
+    def test_special_form_generator(self):
+        for seed in range(4):
+            inst = random_special_form_instance(14, delta_K=3, constraint_rounds=2, seed=seed)
+            assert inst.is_special_form()
+            assert inst.delta_K <= 3
+            assert not inst.is_degenerate()
+
+    def test_special_form_odd_agent_count(self):
+        inst = random_special_form_instance(13, delta_K=3, seed=0)
+        assert inst.is_special_form()
+
+    def test_special_form_validation(self):
+        with pytest.raises(ValueError):
+            random_special_form_instance(3)
+        with pytest.raises(ValueError):
+            random_special_form_instance(10, delta_K=1)
+        with pytest.raises(ValueError):
+            random_special_form_instance(10, constraint_rounds=0)
+
+
+class TestCycleAndRegular:
+    def test_cycle_structure(self):
+        inst = cycle_instance(7)
+        assert inst.is_special_form()
+        assert inst.num_agents == 14
+        assert inst.delta_I == 2 and inst.delta_K == 2
+        assert solve_maxmin_lp(inst).optimum == pytest.approx(1.0)
+
+    def test_cycle_explicit_coefficients(self):
+        inst = cycle_instance(3, a_coefficients=[(1.0, 2.0), (3.0, 4.0), (5.0, 6.0)])
+        assert inst.a("i1", "v2") == 3.0
+        assert inst.a("i2", "v5") == 6.0
+
+    def test_cycle_minimum_size(self):
+        with pytest.raises(ValueError):
+            cycle_instance(1)
+
+    def test_defect_cycle(self):
+        plain = cycle_instance(6)
+        defect = defect_cycle_instance(6, defect_index=2, defect_coefficient=2.0)
+        assert defect.a("i2", "v4") == 2.0
+        assert solve_maxmin_lp(defect).optimum < solve_maxmin_lp(plain).optimum
+        with pytest.raises(ValueError):
+            defect_cycle_instance(4, defect_index=9)
+
+    def test_regular_special_form(self):
+        inst = regular_special_form_instance(4, 3, constraint_rounds=2, seed=1)
+        assert inst.is_special_form()
+        assert all(len(inst.agents_of_objective(k)) == 3 for k in inst.objectives)
+        with pytest.raises(ValueError):
+            regular_special_form_instance(3, 3)  # odd agent count
+        with pytest.raises(ValueError):
+            regular_special_form_instance(4, 1)
+
+    def test_regular_general(self):
+        inst = regular_general_instance(12, 3, 4, seed=2)
+        assert all(len(inst.agents_of_constraint(i)) == 3 for i in inst.constraints)
+        assert all(len(inst.agents_of_objective(k)) == 4 for k in inst.objectives)
+        with pytest.raises(ValueError):
+            regular_general_instance(10, 3, 4)
+
+    def test_objective_ring_optimum(self):
+        for delta_K in (2, 3, 4):
+            inst = objective_ring_instance(4, delta_K)
+            assert inst.is_special_form()
+            assert solve_maxmin_lp(inst).optimum == pytest.approx(delta_K - 1.0)
+        with pytest.raises(ValueError):
+            objective_ring_instance(1, 3)
+        with pytest.raises(ValueError):
+            objective_ring_instance(3, 1)
+
+
+class TestStructuredWorkloads:
+    def test_torus(self):
+        inst = torus_instance(3, 4, seed=1)
+        assert inst.num_agents == 12
+        assert inst.num_constraints == 12 and inst.num_objectives == 12
+        assert inst.delta_I == 2 and inst.delta_K == 2
+        assert not inst.is_degenerate()
+        assert all(len(inst.constraints_of_agent(v)) == 2 for v in inst.agents)
+        with pytest.raises(ValueError):
+            torus_instance(1, 5)
+
+    def test_sensor_network(self):
+        net = sensor_network_instance(20, 5, radius=0.3, seed=3)
+        inst = net.instance
+        assert inst.num_objectives == 20  # one per sensor
+        assert not inst.is_degenerate()
+        assert len(net.links) == inst.num_agents
+        assert net.agent_name(*net.links[0][:2]) in inst.agents
+        # Every sensor has at least one relay (possibly its nearest one).
+        assert all(len(inst.agents_of_objective(k)) >= 1 for k in inst.objectives)
+        with pytest.raises(ValueError):
+            sensor_network_instance(0, 3)
+
+    def test_sensor_network_determinism(self):
+        a = sensor_network_instance(10, 3, seed=7).instance
+        b = sensor_network_instance(10, 3, seed=7).instance
+        assert a == b
+
+    def test_bandwidth_workload(self):
+        workload = bandwidth_allocation_instance(10, 5, paths_per_customer=2, seed=4)
+        inst = workload.instance
+        assert inst.num_objectives == 5
+        assert not inst.is_degenerate()
+        assert len(workload.customers) == 5
+        for customer, paths in workload.paths.items():
+            assert 1 <= len(paths) <= 2
+            assert workload.agent_name(customer, 0) in inst.agents
+        with pytest.raises(ValueError):
+            bandwidth_allocation_instance(2, 1)
+        with pytest.raises(ValueError):
+            bandwidth_allocation_instance(5, 0)
+
+    def test_bandwidth_optimum_positive(self):
+        workload = bandwidth_allocation_instance(8, 3, seed=5)
+        assert solve_maxmin_lp(workload.instance).optimum > 0
+
+
+class TestLowerBoundPairs:
+    def test_indistinguishable_cycle_pair(self):
+        plain, defect = indistinguishable_cycle_pair(8)
+        assert plain.num_agents == defect.num_agents
+        assert plain.has_zero_one_coefficients()
+        assert not defect.has_zero_one_coefficients()
+
+    def test_half_half_pair(self):
+        uniform, mixed = half_half_cycle_pair(8, tight_coefficient=3.0)
+        assert solve_maxmin_lp(mixed).optimum < solve_maxmin_lp(uniform).optimum
+        with pytest.raises(ValueError):
+            half_half_cycle_pair(2)
+
+    def test_hard_ring_pair(self):
+        a, b = hard_ring_pair(3, 3)
+        assert a.num_agents == b.num_agents
+        assert solve_maxmin_lp(a).optimum == pytest.approx(2.0)
+
+
+class TestPerturbations:
+    def test_perturb_coefficient(self):
+        inst = cycle_instance(4)
+        changed = perturb_coefficient(inst, "i0", "v0", 5.0)
+        assert changed.a("i0", "v0") == 5.0
+        assert inst.a("i0", "v0") == 1.0  # original untouched
+        with pytest.raises(InvalidInstanceError):
+            perturb_coefficient(inst, "i0", "v0", -1.0)
+        with pytest.raises(InvalidInstanceError):
+            perturb_coefficient(inst, "i0", "v3", 1.0)
+
+    def test_jitter(self):
+        inst = cycle_instance(5, coefficient_range=(1.0, 1.0))
+        jittered = jitter_coefficients(inst, relative_amplitude=0.1, seed=1)
+        assert jittered.num_edges == inst.num_edges
+        assert any(
+            jittered.a(i, v) != inst.a(i, v) for (i, v) in inst.a_coefficients
+        )
+        # Objective coefficients untouched by default (stays special form).
+        assert jittered.is_special_form()
+        with pytest.raises(InvalidInstanceError):
+            jitter_coefficients(inst, relative_amplitude=1.5)
+
+    def test_jitter_objectives(self):
+        inst = cycle_instance(5)
+        jittered = jitter_coefficients(inst, relative_amplitude=0.2, seed=2, jitter_objectives=True)
+        assert not jittered.is_special_form()

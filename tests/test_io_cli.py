@@ -1,0 +1,148 @@
+"""Tests for serialization, graph export and the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.solution import Solution
+from repro.cli import build_parser, main
+from repro.exceptions import SerializationError
+from repro.generators import cycle_instance, random_instance
+from repro.io import (
+    from_networkx,
+    instance_from_json,
+    instance_to_json,
+    load_graphml,
+    load_instance,
+    save_graphml,
+    save_instance,
+    save_solution,
+    solution_to_json,
+    to_networkx,
+)
+from repro.transforms import to_special_form
+
+
+class TestJsonSerialization:
+    def test_roundtrip_simple(self, general_instance, tmp_path):
+        path = save_instance(general_instance, tmp_path / "inst.json")
+        restored = load_instance(path)
+        assert restored == general_instance
+        assert restored.name == general_instance.name
+
+    def test_roundtrip_tuple_ids(self, general_instance, tmp_path):
+        # The transformation pipeline generates tuple-shaped identifiers.
+        transformed = to_special_form(general_instance).transformed
+        path = save_instance(transformed, tmp_path / "transformed.json")
+        restored = load_instance(path)
+        assert restored == transformed
+
+    def test_roundtrip_integer_ids(self):
+        from repro.core.instance import MaxMinInstance
+
+        inst = MaxMinInstance([1, 2], [10], [20], {(10, 1): 1.0, (10, 2): 1.0}, {(20, 1): 1.0, (20, 2): 1.0})
+        assert instance_from_json(instance_to_json(inst)) == inst
+
+    def test_invalid_documents(self):
+        with pytest.raises(SerializationError):
+            instance_from_json("not json at all {")
+        with pytest.raises(SerializationError):
+            instance_from_json(json.dumps({"format": "something-else"}))
+        with pytest.raises(SerializationError):
+            instance_from_json(json.dumps({"format": "repro.maxmin-lp", "agents": []}))
+
+    def test_solution_serialization(self, tiny_instance, tmp_path):
+        sol = Solution(tiny_instance, {"a": 0.5, "b": 0.25}, label="manual")
+        text = solution_to_json(sol)
+        payload = json.loads(text)
+        assert payload["label"] == "manual"
+        assert payload["utility"] == pytest.approx(0.75)
+        path = save_solution(sol, tmp_path / "sol.json")
+        assert path.exists()
+
+
+class TestGraphml:
+    def test_to_networkx_attributes(self, tiny_instance):
+        graph = to_networkx(tiny_instance)
+        assert graph.number_of_nodes() == 4
+        kinds = {data["kind"] for _n, data in graph.nodes(data=True)}
+        assert kinds == {"agent", "constraint", "objective"}
+
+    def test_networkx_roundtrip(self, general_instance):
+        graph = to_networkx(general_instance)
+        restored = from_networkx(graph)
+        assert restored.num_agents == general_instance.num_agents
+        assert restored.num_edges == general_instance.num_edges
+        assert restored.delta_I == general_instance.delta_I
+
+    def test_graphml_file_roundtrip(self, tmp_path):
+        instance = cycle_instance(4, coefficient_range=(0.5, 2.0), seed=1)
+        path = save_graphml(instance, tmp_path / "inst.graphml")
+        restored = load_graphml(path)
+        assert restored.num_agents == instance.num_agents
+        assert restored.num_constraints == instance.num_constraints
+        assert restored.is_special_form()
+
+    def test_from_networkx_rejects_bad_graphs(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_node("x")  # no kind attribute
+        with pytest.raises(SerializationError):
+            from_networkx(graph)
+
+        graph = nx.Graph()
+        graph.add_node("a", kind="agent")
+        graph.add_node("b", kind="agent")
+        graph.add_edge("a", "b", coeff=1.0)
+        with pytest.raises(SerializationError):
+            from_networkx(graph)
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["generate", "cycle", "out.json", "--size", "4"])
+        assert args.command == "generate" and args.family == "cycle"
+
+    def test_generate_info_compare_solve(self, tmp_path, capsys):
+        instance_path = str(tmp_path / "inst.json")
+        assert main(["generate", "cycle", instance_path, "--size", "4"]) == 0
+        assert main(["info", instance_path]) == 0
+        out = capsys.readouterr().out
+        assert "special form" in out
+
+        assert main(["compare", instance_path, "--r-values", "2", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "local-R2" in out and "lp-optimum" in out
+
+        solution_path = str(tmp_path / "sol.json")
+        assert (
+            main(
+                [
+                    "solve",
+                    instance_path,
+                    "-R",
+                    "2",
+                    "--with-safe",
+                    "--with-optimum",
+                    "--output",
+                    solution_path,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "safe-degree" in out
+        assert (tmp_path / "sol.json").exists()
+
+    @pytest.mark.parametrize(
+        "family", ["random", "special-form", "torus", "sensor", "ring"]
+    )
+    def test_generate_all_families(self, family, tmp_path):
+        path = str(tmp_path / f"{family}.json")
+        assert main(["generate", family, path, "--size", "9", "--seed", "1"]) == 0
+        instance = load_instance(path)
+        assert instance.num_agents > 0

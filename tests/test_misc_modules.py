@@ -1,0 +1,110 @@
+"""Smaller-module tests: typed node helpers, exceptions, dynamics helpers, harness utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._types import NodeType, agent_node, constraint_node, objective_node
+from repro.core.instance import MaxMinInstance
+from repro.distributed.dynamics import changed_sites, local_horizon_radius
+from repro.exceptions import (
+    DegenerateInstanceError,
+    InfeasibleSolutionError,
+    InvalidInstanceError,
+    NotSpecialFormError,
+    ReproError,
+    SerializationError,
+    SimulationError,
+    SolverError,
+    TransformError,
+)
+from repro.generators import cycle_instance
+
+
+class TestTypes:
+    def test_node_wrappers(self):
+        assert agent_node("v") == (NodeType.AGENT, "v")
+        assert constraint_node("i") == (NodeType.CONSTRAINT, "i")
+        assert objective_node("k") == (NodeType.OBJECTIVE, "k")
+
+    def test_short_tags(self):
+        assert NodeType.AGENT.short == "V"
+        assert NodeType.CONSTRAINT.short == "I"
+        assert NodeType.OBJECTIVE.short == "K"
+
+    def test_namespaces_do_not_collide(self):
+        inst = MaxMinInstance(
+            ["x"], ["x"], ["x"], {("x", "x"): 1.0}, {("x", "x"): 1.0}, name="collide"
+        )
+        # The same identifier may appear as an agent, a constraint and an
+        # objective; the typed graph keeps them apart.
+        graph = inst.communication_graph()
+        assert graph.number_of_nodes() == 3
+
+
+class TestExceptions:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            InvalidInstanceError,
+            DegenerateInstanceError,
+            NotSpecialFormError,
+            InfeasibleSolutionError,
+            SolverError,
+            TransformError,
+            SimulationError,
+            SerializationError,
+        ],
+    )
+    def test_hierarchy(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+
+class TestDynamicsHelpers:
+    def test_local_horizon_radius_grows_linearly(self):
+        radii = [local_horizon_radius(R) for R in (2, 3, 4, 5)]
+        assert radii == sorted(radii)
+        assert radii[1] - radii[0] == radii[2] - radii[1] == 12
+
+    def test_changed_sites_structural_changes(self):
+        before = cycle_instance(4)
+        # Remove one agent entirely (and its incident edges).
+        keep = [v for v in before.agents if v != "v0"]
+        after = before.sub_instance(keep, before.constraints, before.objectives)
+        sites = changed_sites(before, after)
+        assert agent_node("v0") in sites
+
+    def test_changed_sites_objective_coefficient(self):
+        before = cycle_instance(4)
+        c = before.c_coefficients
+        c[("k0", "v1")] = 2.0
+        after = MaxMinInstance(
+            before.agents, before.constraints, before.objectives, before.a_coefficients, c
+        )
+        assert agent_node("v1") in changed_sites(before, after)
+
+
+class TestBenchmarkHarnessHelpers:
+    def test_emit_table_writes_markdown(self, tmp_path, monkeypatch, capsys):
+        import _harness
+
+        monkeypatch.setattr(_harness, "RESULTS_DIR", tmp_path)
+        rows = [{"a": 1.0, "b": "x"}]
+        text = _harness.emit_table("T0", "demo", rows, notes="note")
+        assert "T0: demo" in text
+        written = (tmp_path / "t0.md").read_text(encoding="utf-8")
+        assert "note" in written and "| a | b |" in written
+        assert "T0: demo" in capsys.readouterr().out
+
+    def test_standard_families_are_valid(self):
+        import _harness
+
+        special = _harness.standard_special_form_family()
+        general = _harness.standard_general_family()
+        assert len(special) >= 5 and len(general) >= 4
+        for inst in special.values():
+            assert inst.is_special_form()
+        for inst in general.values():
+            assert not inst.is_degenerate()

@@ -1,0 +1,293 @@
+"""Tests for the §4 local transformations and their composition.
+
+Each transformation is checked for (a) its structural post-condition,
+(b) correctness of the back-mapping (feasibility is preserved, utility does
+not decrease beyond what the paper allows), and (c) the optimum-preservation
+claims (§4.2, §4.4–§4.6 preserve the optimum exactly; §4.3 preserves it up
+to the documented ΔI/2 accounting).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import InstanceBuilder
+from repro.core.lp import solve_maxmin_lp
+from repro.core.preprocess import preprocess
+from repro.core.solution import Solution
+from repro.exceptions import TransformError
+from repro.generators import random_instance
+from repro.transforms import (
+    AugmentSingletonConstraints,
+    AugmentSingletonObjectives,
+    NormaliseCoefficients,
+    ReduceConstraintDegree,
+    SplitAgentsByObjective,
+    apply_chain,
+    canonical_transforms,
+    compose,
+    to_special_form,
+)
+
+from conftest import assert_feasible, build_general_instance, general_family
+
+
+def _clean(instance):
+    pre = preprocess(instance)
+    assert not pre.optimum_is_zero and not pre.optimum_is_unbounded
+    return pre.instance
+
+
+class TestAugmentSingletonConstraints:
+    def make_instance(self):
+        builder = InstanceBuilder("singleton-constraint")
+        builder.add_constraint_term("i1", "a", 2.0)          # degree-1 constraint
+        builder.add_constraint_term("i2", "a", 1.0)
+        builder.add_constraint_term("i2", "b", 1.0)
+        builder.add_objective_term("k", "a", 1.0)
+        builder.add_objective_term("k", "b", 1.0)
+        return builder.build()
+
+    def test_postcondition(self):
+        result = AugmentSingletonConstraints().apply(self.make_instance())
+        assert all(
+            len(result.transformed.agents_of_constraint(i)) >= 2
+            for i in result.transformed.constraints
+        )
+        assert result.ratio_factor == 1.0
+        assert result.metadata["augmented_constraints"] == 1
+
+    def test_optimum_preserved(self):
+        instance = self.make_instance()
+        result = AugmentSingletonConstraints().apply(instance)
+        before = solve_maxmin_lp(instance).optimum
+        after = solve_maxmin_lp(result.transformed).optimum
+        assert after == pytest.approx(before, rel=1e-6)
+
+    def test_back_map_feasible(self):
+        instance = self.make_instance()
+        result = AugmentSingletonConstraints().apply(instance)
+        lp = solve_maxmin_lp(result.transformed)
+        mapped = result.map_back(lp.solution)
+        assert_feasible(mapped)
+        assert mapped.utility() == pytest.approx(lp.optimum, rel=1e-6)
+
+    def test_noop_when_no_singletons(self, tiny_instance):
+        result = AugmentSingletonConstraints().apply(tiny_instance)
+        assert not result.changed
+        sol = Solution(result.transformed, {"a": 0.5, "b": 0.5})
+        assert result.map_back(sol)["a"] == 0.5
+
+    def test_rejects_degenerate(self, degenerate_instance):
+        with pytest.raises(TransformError):
+            AugmentSingletonConstraints().apply(degenerate_instance)
+
+
+class TestReduceConstraintDegree:
+    def test_postcondition_and_factor(self, general_instance):
+        clean = _clean(general_instance)
+        prepared = AugmentSingletonConstraints().apply(clean).transformed
+        result = ReduceConstraintDegree().apply(prepared)
+        assert all(
+            len(result.transformed.agents_of_constraint(i)) == 2
+            for i in result.transformed.constraints
+        )
+        assert result.ratio_factor == pytest.approx(prepared.delta_I / 2.0)
+
+    def test_wide_constraint_becomes_pairs(self):
+        builder = InstanceBuilder()
+        builder.add_packing_constraint("i", {"a": 1.0, "b": 2.0, "c": 3.0})
+        builder.add_covering_objective("k", {"a": 1.0, "b": 1.0, "c": 1.0})
+        result = ReduceConstraintDegree().apply(builder.build())
+        assert result.transformed.num_constraints == 3  # C(3, 2)
+        # Coefficients are inherited pairwise.
+        coeffs = sorted(result.transformed.a_coefficients.values())
+        assert coeffs == [1.0, 1.0, 2.0, 2.0, 3.0, 3.0]
+
+    def test_back_map_feasible_and_ratio_accounting(self):
+        builder = InstanceBuilder()
+        builder.add_packing_constraint("i", {"a": 1.0, "b": 1.0, "c": 1.0})
+        builder.add_covering_objective("k1", {"a": 1.0})
+        builder.add_covering_objective("k2", {"b": 1.0})
+        builder.add_covering_objective("k3", {"c": 1.0})
+        instance = builder.build()
+        result = ReduceConstraintDegree().apply(instance)
+        lp_t = solve_maxmin_lp(result.transformed)
+        mapped = result.map_back(lp_t.solution)
+        assert_feasible(mapped)
+        original_opt = solve_maxmin_lp(instance).optimum
+        # α-approximate transformed solution maps to α·ΔI/2 approximate one.
+        assert original_opt <= result.ratio_factor * mapped.utility() + 1e-9
+
+    def test_requires_no_singletons(self):
+        builder = InstanceBuilder()
+        builder.add_constraint_term("i", "a", 1.0)
+        builder.add_objective_term("k", "a", 1.0)
+        with pytest.raises(TransformError):
+            ReduceConstraintDegree().apply(builder.build())
+
+    def test_noop_when_all_degree_two(self, unit_cycle):
+        result = ReduceConstraintDegree().apply(unit_cycle)
+        assert not result.changed
+        assert result.ratio_factor == 1.0
+
+
+class TestSplitAgentsByObjective:
+    def test_postcondition(self, general_instance):
+        result = SplitAgentsByObjective().apply(general_instance)
+        assert all(
+            len(result.transformed.objectives_of_agent(v)) == 1
+            for v in result.transformed.agents
+        )
+        assert result.ratio_factor == 1.0
+
+    def test_optimum_preserved(self, general_instance):
+        result = SplitAgentsByObjective().apply(general_instance)
+        before = solve_maxmin_lp(general_instance).optimum
+        after = solve_maxmin_lp(result.transformed).optimum
+        assert after == pytest.approx(before, rel=1e-6)
+
+    def test_back_map_feasible_same_utility(self, general_instance):
+        result = SplitAgentsByObjective().apply(general_instance)
+        lp = solve_maxmin_lp(result.transformed)
+        mapped = result.map_back(lp.solution)
+        assert_feasible(mapped)
+        assert mapped.utility() >= lp.optimum - 1e-9
+
+    def test_noop(self, unit_cycle):
+        assert not SplitAgentsByObjective().apply(unit_cycle).changed
+
+
+class TestAugmentSingletonObjectives:
+    def make_instance(self):
+        builder = InstanceBuilder()
+        builder.add_constraint_term("i", "a", 1.0)
+        builder.add_constraint_term("i", "b", 1.0)
+        builder.add_objective_term("k1", "a", 2.0)   # singleton objective
+        builder.add_objective_term("k2", "b", 1.0)   # singleton objective
+        return builder.build()
+
+    def test_postcondition(self):
+        result = AugmentSingletonObjectives().apply(self.make_instance())
+        assert all(
+            len(result.transformed.agents_of_objective(k)) >= 2
+            for k in result.transformed.objectives
+        )
+        # Each agent was split into two copies.
+        assert result.transformed.num_agents == 4
+
+    def test_optimum_preserved(self):
+        instance = self.make_instance()
+        result = AugmentSingletonObjectives().apply(instance)
+        assert solve_maxmin_lp(result.transformed).optimum == pytest.approx(
+            solve_maxmin_lp(instance).optimum, rel=1e-6
+        )
+
+    def test_back_map(self):
+        instance = self.make_instance()
+        result = AugmentSingletonObjectives().apply(instance)
+        lp = solve_maxmin_lp(result.transformed)
+        mapped = result.map_back(lp.solution)
+        assert_feasible(mapped)
+        assert mapped.utility() >= lp.optimum - 1e-9
+
+    def test_requires_unique_objectives(self, general_instance):
+        with pytest.raises(TransformError):
+            AugmentSingletonObjectives().apply(general_instance)
+
+    def test_noop(self, unit_cycle):
+        assert not AugmentSingletonObjectives().apply(unit_cycle).changed
+
+
+class TestNormaliseCoefficients:
+    def make_instance(self):
+        builder = InstanceBuilder()
+        builder.add_constraint_term("i", "a", 1.0)
+        builder.add_constraint_term("i", "b", 2.0)
+        builder.add_objective_term("k", "a", 4.0)
+        builder.add_objective_term("k", "b", 0.5)
+        return builder.build()
+
+    def test_postcondition(self):
+        result = NormaliseCoefficients().apply(self.make_instance())
+        assert all(c == pytest.approx(1.0) for c in result.transformed.c_coefficients.values())
+        # Graph shape unchanged.
+        assert result.transformed.num_edges == 4
+
+    def test_optimum_preserved_and_back_map(self):
+        instance = self.make_instance()
+        result = NormaliseCoefficients().apply(instance)
+        lp_before = solve_maxmin_lp(instance)
+        lp_after = solve_maxmin_lp(result.transformed)
+        assert lp_after.optimum == pytest.approx(lp_before.optimum, rel=1e-6)
+        mapped = result.map_back(lp_after.solution)
+        assert_feasible(mapped)
+        assert mapped.utility() == pytest.approx(lp_before.optimum, rel=1e-6)
+
+    def test_requires_unique_objectives(self, general_instance):
+        with pytest.raises(TransformError):
+            NormaliseCoefficients().apply(general_instance)
+
+    def test_noop_when_already_unit(self, unit_cycle):
+        assert not NormaliseCoefficients().apply(unit_cycle).changed
+
+
+class TestPipeline:
+    def test_canonical_order(self):
+        names = [type(t).__name__ for t in canonical_transforms()]
+        assert names == [
+            "AugmentSingletonConstraints",
+            "ReduceConstraintDegree",
+            "SplitAgentsByObjective",
+            "AugmentSingletonObjectives",
+            "NormaliseCoefficients",
+        ]
+
+    def test_full_pipeline_reaches_special_form(self):
+        for instance in general_family():
+            clean = preprocess(instance).instance
+            result = to_special_form(clean)
+            assert result.transformed.is_special_form()
+            assert result.ratio_factor == pytest.approx(max(clean.delta_I, 2) / 2.0)
+
+    def test_pipeline_back_map_feasible_and_bounded(self):
+        for instance in general_family():
+            clean = preprocess(instance).instance
+            result = to_special_form(clean)
+            lp_special = solve_maxmin_lp(result.transformed)
+            mapped = result.map_back(lp_special.solution)
+            assert_feasible(mapped)
+            optimum = solve_maxmin_lp(clean).optimum
+            # Optimal transformed solution maps to a ΔI/2-approximation.
+            assert optimum <= result.ratio_factor * mapped.utility() + 1e-7
+            # And never exceeds the true optimum.
+            assert mapped.utility() <= optimum + 1e-7
+
+    def test_pipeline_optimum_relation(self):
+        # §4.2, §4.4, §4.5, §4.6 preserve the optimum; §4.3 can only increase
+        # it (an optimal original solution stays feasible), by at most ΔI/2.
+        instance = _clean(build_general_instance())
+        result = to_special_form(instance)
+        original = solve_maxmin_lp(instance).optimum
+        transformed = solve_maxmin_lp(result.transformed).optimum
+        assert transformed >= original - 1e-9
+        assert transformed <= result.ratio_factor * original + 1e-7
+
+    def test_compose_validates_chain(self, tiny_instance, general_instance):
+        first = SplitAgentsByObjective().apply(general_instance)
+        second = SplitAgentsByObjective().apply(tiny_instance)
+        with pytest.raises(TransformError):
+            compose([first, second])
+        with pytest.raises(TransformError):
+            compose([])
+
+    def test_map_back_requires_matching_instance(self, general_instance, tiny_instance):
+        result = SplitAgentsByObjective().apply(general_instance)
+        with pytest.raises(TransformError):
+            result.map_back(Solution(tiny_instance, {}))
+
+    def test_apply_chain_matches_to_special_form(self):
+        instance = _clean(random_instance(12, delta_I=3, delta_K=3, seed=5))
+        via_chain = apply_chain(instance, canonical_transforms())
+        via_helper = to_special_form(instance)
+        assert via_chain.transformed == via_helper.transformed
