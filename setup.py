@@ -1,12 +1,36 @@
-"""Setuptools shim.
+"""Packaging for the SPAA 2009 max-min LP reproduction.
 
-The canonical build configuration lives in ``pyproject.toml``; this file only
-exists so that editable installs keep working in fully offline environments
-whose setuptools lacks the ``wheel`` package required by PEP 660 editable
-builds (``pip install -e . --no-build-isolation`` falls back to the legacy
-``setup.py develop`` code path when this file is present).
+Kept as a plain ``setup.py`` (rather than ``pyproject.toml``) for fully
+offline environments.  Note that without the ``wheel`` package even
+``pip install -e . --no-build-isolation`` fails (modern pip insists on
+``bdist_wheel`` while preparing editable metadata); in that situation use
+the legacy ``python setup.py develop`` directly, or skip installation and
+run with ``PYTHONPATH=src`` as the test suite and CI do.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="maxmin-lp-repro",
+    version="1.1.0",
+    description=(
+        "Reproduction of Floréen, Kaasinen, Kaski, Suomela (SPAA 2009): "
+        "an optimal local approximation algorithm for max-min linear programs"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=[
+        "numpy",
+        "scipy",
+        "networkx",
+    ],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": [
+            "maxmin-lp = repro.cli:main",
+        ],
+    },
+)

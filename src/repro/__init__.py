@@ -38,7 +38,7 @@ from .algo import (
 )
 from .transforms import to_special_form
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MaxMinInstance",

@@ -17,7 +17,14 @@ from ..core.instance import MaxMinInstance
 from ..core.lp import solve_maxmin_lp
 from ..core.solution import Solution
 
-__all__ = ["measured_ratio", "evaluate_solution", "compare_algorithms"]
+__all__ = [
+    "measured_ratio",
+    "evaluate_solution",
+    "evaluate_local_algorithm",
+    "evaluate_safe_algorithm",
+    "evaluate_lp_optimum",
+    "compare_algorithms",
+]
 
 
 def measured_ratio(optimum: float, utility: float) -> float:
@@ -63,6 +70,56 @@ def evaluate_solution(
     return record
 
 
+def evaluate_local_algorithm(
+    instance: MaxMinInstance,
+    *,
+    R: int,
+    tu_method: str = "recursion",
+    optimum: Optional[float] = None,
+) -> Dict[str, object]:
+    """Run the local algorithm once and return its ``local-R{R}`` record.
+
+    Shared by :func:`compare_algorithms` and the batch engine
+    (:mod:`repro.engine.registry`) so their records cannot drift apart.
+    """
+    result = LocalMaxMinSolver(R=R, tu_method=tu_method).solve(instance)
+    return evaluate_solution(
+        instance,
+        result.solution,
+        algorithm=f"local-R{R}",
+        guaranteed_ratio=result.certificate.guaranteed_ratio,
+        optimum=optimum,
+    )
+
+
+def evaluate_safe_algorithm(
+    instance: MaxMinInstance, *, optimum: Optional[float] = None
+) -> Dict[str, object]:
+    """Run the safe baseline once and return its record."""
+    safe = SafeAlgorithm()
+    solution, certificate = safe.solve_with_certificate(instance)
+    return evaluate_solution(
+        instance,
+        solution,
+        algorithm=safe.name,
+        guaranteed_ratio=certificate.guaranteed_ratio,
+        optimum=optimum,
+    )
+
+
+def evaluate_lp_optimum(instance: MaxMinInstance, *, lp=None) -> Dict[str, object]:
+    """The exact-LP reference record (``measured_ratio`` 1 by construction)."""
+    if lp is None:
+        lp = solve_maxmin_lp(instance)
+    return evaluate_solution(
+        instance,
+        lp.solution,
+        algorithm="lp-optimum",
+        guaranteed_ratio=1.0,
+        optimum=lp.optimum,
+    )
+
+
 def compare_algorithms(
     instance: MaxMinInstance,
     *,
@@ -76,39 +133,13 @@ def compare_algorithms(
     records: List[Dict[str, object]] = []
 
     for R in R_values:
-        solver = LocalMaxMinSolver(R=R, tu_method=tu_method)
-        result = solver.solve(instance)
         records.append(
-            evaluate_solution(
-                instance,
-                result.solution,
-                algorithm=f"local-R{R}",
-                guaranteed_ratio=result.certificate.guaranteed_ratio,
-                optimum=lp.optimum,
-            )
+            evaluate_local_algorithm(instance, R=R, tu_method=tu_method, optimum=lp.optimum)
         )
 
     if include_safe:
-        safe = SafeAlgorithm()
-        solution, certificate = safe.solve_with_certificate(instance)
-        records.append(
-            evaluate_solution(
-                instance,
-                solution,
-                algorithm=safe.name,
-                guaranteed_ratio=certificate.guaranteed_ratio,
-                optimum=lp.optimum,
-            )
-        )
+        records.append(evaluate_safe_algorithm(instance, optimum=lp.optimum))
 
     if include_optimum_row:
-        records.append(
-            evaluate_solution(
-                instance,
-                lp.solution,
-                algorithm="lp-optimum",
-                guaranteed_ratio=1.0,
-                optimum=lp.optimum,
-            )
-        )
+        records.append(evaluate_lp_optimum(instance, lp=lp))
     return records

@@ -5,17 +5,26 @@ of algorithms over a family of instances and tabulate utilities, measured
 ratios and guarantees.  :func:`run_ratio_sweep` does exactly that, and
 :func:`worst_case_by` aggregates the worst measured ratio per group — the
 number the paper's *worst-case* guarantees speak about.
+
+Execution is delegated to :mod:`repro.engine`: the sweep is compiled into a
+batch of (instance × algorithm × parameters) jobs and handed to
+:func:`repro.engine.batch.run_batch`, which can run them serially (the
+default, identical to the historical behaviour), fan them out over a process
+pool (``jobs=N``) and/or skip work already present in an on-disk result
+cache (``cache_dir=...``).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from ..core.instance import MaxMinInstance
-from ..core.lp import solve_maxmin_lp
-from .ratios import compare_algorithms
 
-__all__ = ["run_ratio_sweep", "worst_case_by", "group_rows"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard; engine imports ratios
+    from ..engine.batch import BatchResult
+    from ..engine.executors import Executor
+
+__all__ = ["run_ratio_sweep", "run_ratio_sweep_batch", "worst_case_by", "group_rows"]
 
 
 def run_ratio_sweep(
@@ -25,6 +34,9 @@ def run_ratio_sweep(
     include_safe: bool = True,
     tu_method: str = "recursion",
     extra_fields: Optional[Mapping[str, Callable[[MaxMinInstance], object]]] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    executor: Optional["Executor"] = None,
 ) -> List[Dict[str, object]]:
     """Evaluate the algorithms on every instance and return flat records.
 
@@ -41,19 +53,71 @@ def run_ratio_sweep(
     extra_fields:
         Optional ``column -> f(instance)`` callables whose values are added
         to every record of that instance (e.g. a family label or a size
-        parameter).
+        parameter).  Applied on the caller's side, so the callables never
+        cross a process boundary and need not be picklable.
+    jobs:
+        Fan the sweep out over ``N`` worker processes (``None``/``1`` keeps
+        the historical serial behaviour).  Records are identical to a serial
+        run, in identical order, regardless of this setting.
+    cache_dir:
+        Directory of a content-addressed result cache; previously computed
+        (instance, algorithm, parameters) jobs are read back instead of
+        recomputed.
+    executor:
+        Explicit :class:`repro.engine.executors.Executor`; overrides ``jobs``.
     """
-    rows: List[Dict[str, object]] = []
-    for instance in instances:
-        records = compare_algorithms(
-            instance, R_values=R_values, include_safe=include_safe, tu_method=tu_method
-        )
-        if extra_fields:
-            for record in records:
-                for column, fn in extra_fields.items():
-                    record[column] = fn(instance)
-        rows.extend(records)
+    rows, _ = run_ratio_sweep_batch(
+        instances,
+        R_values=R_values,
+        include_safe=include_safe,
+        tu_method=tu_method,
+        extra_fields=extra_fields,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        executor=executor,
+    )
     return rows
+
+
+def run_ratio_sweep_batch(
+    instances: Iterable[MaxMinInstance],
+    *,
+    R_values: Sequence[int] = (2, 3, 4),
+    include_safe: bool = True,
+    tu_method: str = "recursion",
+    extra_fields: Optional[Mapping[str, Callable[[MaxMinInstance], object]]] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    executor: Optional["Executor"] = None,
+) -> Tuple[List[Dict[str, object]], "BatchResult"]:
+    """Like :func:`run_ratio_sweep`, but also return the engine's
+    :class:`~repro.engine.batch.BatchResult` (executed/cached job counts,
+    timings) for callers that report execution statistics — notably the
+    ``maxmin-lp sweep`` CLI subcommand.
+    """
+    # Imported lazily: repro.engine.registry imports repro.analysis.ratios,
+    # so a module-level import here would be circular.
+    from ..engine.batch import ratio_sweep_batch, run_batch
+
+    instance_list = list(instances)
+    batch = ratio_sweep_batch(
+        instance_list,
+        R_values=R_values,
+        include_safe=include_safe,
+        tu_method=tu_method,
+    )
+    result = run_batch(batch, executor=executor, jobs=jobs, cache_dir=cache_dir)
+
+    rows: List[Dict[str, object]] = []
+    for job_result, owner in zip(result.results, batch.owners):
+        for record in job_result.records:
+            row = dict(record)
+            if extra_fields:
+                instance = instance_list[owner]
+                for column, fn in extra_fields.items():
+                    row[column] = fn(instance)
+            rows.append(row)
+    return rows, result
 
 
 def group_rows(

@@ -10,6 +10,10 @@ Sub-commands
     baseline and the exact LP) and print a comparison table.
 ``compare``
     Sweep the local algorithm over several values of R on an instance file.
+``sweep``
+    Run a full (family × size × R) parameter sweep through the batch engine
+    (:mod:`repro.engine`), optionally fanned out over worker processes
+    (``--jobs``) and backed by an on-disk result cache (``--cache-dir``).
 ``info``
     Print structural statistics of an instance file.
 
@@ -27,6 +31,8 @@ from .algo.general_solver import LocalMaxMinSolver
 from .algo.safe_algorithm import SafeAlgorithm
 from .analysis.ratios import compare_algorithms
 from .analysis.reporting import format_table
+from .analysis.sweeps import run_ratio_sweep_batch, worst_case_by
+from .core.instance import MaxMinInstance
 from .core.lp import solve_maxmin_lp
 from .generators import (
     cycle_instance,
@@ -40,6 +46,9 @@ from .io.serialization import load_instance, save_instance, save_solution
 
 __all__ = ["main", "build_parser"]
 
+#: Instance families understood by ``generate`` and ``sweep``.
+FAMILIES = ("random", "special-form", "cycle", "torus", "sensor", "ring")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -49,11 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="generate an instance and write it to JSON")
-    gen.add_argument(
-        "family",
-        choices=["random", "special-form", "cycle", "torus", "sensor", "ring"],
-        help="instance family",
-    )
+    gen.add_argument("family", choices=list(FAMILIES), help="instance family")
     gen.add_argument("output", help="output JSON path")
     gen.add_argument("--size", type=int, default=24, help="number of agents / segments / sensors")
     gen.add_argument("--delta-i", type=int, default=3, dest="delta_I", help="max constraint degree")
@@ -71,32 +76,108 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("input", help="instance JSON path")
     compare.add_argument("--r-values", type=int, nargs="+", default=[2, 3, 4])
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a (family x size x R) sweep through the parallel batch engine",
+    )
+    sweep.add_argument("family", choices=list(FAMILIES), help="instance family")
+    sweep.add_argument(
+        "--sizes", type=int, nargs="+", default=[8, 16, 24], help="instance size grid"
+    )
+    sweep.add_argument("--r-values", type=int, nargs="+", default=[2, 3, 4], help="R grid")
+    sweep.add_argument("--delta-i", type=int, default=3, dest="delta_I", help="max constraint degree")
+    sweep.add_argument("--delta-k", type=int, default=3, dest="delta_K", help="max objective degree")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = serial execution)"
+    )
+    sweep.add_argument(
+        "--cache-dir", help="content-addressed result cache directory (reused across runs)"
+    )
+    sweep.add_argument("--no-safe", action="store_true", help="skip the safe baseline")
+    sweep.add_argument(
+        "--tu-method",
+        choices=["recursion", "lp"],
+        default="recursion",
+        help="per-agent bound computation method",
+    )
+    sweep.add_argument(
+        "--full-table", action="store_true", help="print every record, not just the summary"
+    )
+
     info = sub.add_parser("info", help="print structural statistics of an instance")
     info.add_argument("input", help="instance JSON path")
 
     return parser
 
 
+def _make_instance(
+    family: str, size: int, delta_I: int, delta_K: int, seed: int
+) -> MaxMinInstance:
+    """Build one instance of a named family at the given size."""
+    if family == "random":
+        return random_instance(size, delta_I=delta_I, delta_K=delta_K, seed=seed)
+    if family == "special-form":
+        return random_special_form_instance(size, delta_K=delta_K, seed=seed)
+    if family == "cycle":
+        return cycle_instance(max(size, 2), seed=seed)
+    if family == "torus":
+        side = max(2, int(round(size ** 0.5)))
+        return torus_instance(side, side, seed=seed)
+    if family == "sensor":
+        return sensor_network_instance(size, max(2, size // 4), seed=seed).instance
+    if family == "ring":
+        return objective_ring_instance(max(size, 2), max(delta_K, 2))
+    raise ValueError(f"unknown family {family!r}")
+
+
 def _generate(args: argparse.Namespace) -> int:
-    if args.family == "random":
-        instance = random_instance(
-            args.size, delta_I=args.delta_I, delta_K=args.delta_K, seed=args.seed
-        )
-    elif args.family == "special-form":
-        instance = random_special_form_instance(args.size, delta_K=args.delta_K, seed=args.seed)
-    elif args.family == "cycle":
-        instance = cycle_instance(max(args.size, 2), seed=args.seed)
-    elif args.family == "torus":
-        side = max(2, int(round(args.size ** 0.5)))
-        instance = torus_instance(side, side, seed=args.seed)
-    elif args.family == "sensor":
-        instance = sensor_network_instance(
-            args.size, max(2, args.size // 4), seed=args.seed
-        ).instance
-    else:  # ring
-        instance = objective_ring_instance(max(args.size, 2), max(args.delta_K, 2))
+    instance = _make_instance(args.family, args.size, args.delta_I, args.delta_K, args.seed)
     path = save_instance(instance, args.output)
     print(f"wrote {instance!r} to {path}")
+    return 0
+
+
+def _sweep(args: argparse.Namespace) -> int:
+    instances = [
+        _make_instance(args.family, size, args.delta_I, args.delta_K, args.seed)
+        for size in args.sizes
+    ]
+    sizes_by_id = {id(inst): size for inst, size in zip(instances, args.sizes)}
+    rows, batch_result = run_ratio_sweep_batch(
+        instances,
+        R_values=tuple(args.r_values),
+        include_safe=not args.no_safe,
+        tu_method=args.tu_method,
+        extra_fields={
+            "family": lambda inst: args.family,
+            "size": lambda inst: sizes_by_id[id(inst)],
+        },
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
+    if args.full_table:
+        columns = [
+            "family",
+            "size",
+            "instance",
+            "algorithm",
+            "optimum",
+            "utility",
+            "measured_ratio",
+            "guaranteed_ratio",
+            "within_guarantee",
+        ]
+        print(format_table(rows, columns, title=f"sweep: {args.family}"))
+        print()
+    summary = worst_case_by(rows, keys=("algorithm",))
+    print(format_table(summary, title=f"worst-case summary: {args.family}"))
+    print(
+        f"jobs: {batch_result.executed_jobs} executed, {batch_result.cached_jobs} cached "
+        f"({batch_result.elapsed_s:.2f}s, jobs={args.jobs}"
+        + (f", cache={args.cache_dir}" if args.cache_dir else "")
+        + ")"
+    )
     return 0
 
 
@@ -185,6 +266,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _generate,
         "solve": _solve,
         "compare": _compare,
+        "sweep": _sweep,
         "info": _info,
     }
     return handlers[args.command](args)

@@ -1,0 +1,45 @@
+"""repro.engine — parallel batch execution for sweeps and solver fleets.
+
+The experiments of this reproduction are embarrassingly parallel: hundreds of
+independent (instance × algorithm × parameters) solves whose records are
+tabulated afterwards.  This package turns that shape into infrastructure:
+
+* :mod:`repro.engine.job` — the :class:`JobSpec`/:class:`BatchSpec`/
+  :class:`JobResult` job model; jobs carry instances as canonical JSON so
+  they pickle cheaply and hash stably.
+* :mod:`repro.engine.registry` — worker-side execution of one job plus the
+  per-algorithm version tags that key the cache.
+* :mod:`repro.engine.executors` — :class:`SerialExecutor` and the
+  process-pool :class:`ParallelExecutor`; both produce identical records in
+  identical order for the same batch.
+* :mod:`repro.engine.cache` — content-addressed on-disk :class:`ResultCache`
+  keyed by instance digest × algorithm version × parameters.
+* :mod:`repro.engine.batch` — the :func:`run_batch` front door and the
+  :func:`ratio_sweep_batch` builder that
+  :func:`repro.analysis.sweeps.run_ratio_sweep`, the ``maxmin-lp sweep`` CLI
+  and the benchmarks delegate to.
+"""
+
+from .batch import BatchResult, ratio_sweep_batch, run_batch
+from .cache import ResultCache
+from .executors import Executor, ParallelExecutor, SerialExecutor, default_executor
+from .job import BatchSpec, JobResult, JobSpec, make_jobs_for_instance
+from .registry import SOLVER_VERSIONS, execute_job, solver_version
+
+__all__ = [
+    "JobSpec",
+    "JobResult",
+    "BatchSpec",
+    "BatchResult",
+    "make_jobs_for_instance",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "default_executor",
+    "ResultCache",
+    "run_batch",
+    "ratio_sweep_batch",
+    "execute_job",
+    "solver_version",
+    "SOLVER_VERSIONS",
+]

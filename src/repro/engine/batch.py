@@ -1,0 +1,140 @@
+"""The engine front door: :func:`run_batch` and batch builders.
+
+``run_batch`` takes a :class:`~repro.engine.job.BatchSpec`, consults the
+optional result cache, hands only the cache misses to the executor and
+returns every job's records in submission order.  It is the single execution
+path behind :func:`repro.analysis.sweeps.run_ratio_sweep`, the
+``maxmin-lp sweep`` CLI subcommand and the engine-backed benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple, Union
+
+from ..core.instance import MaxMinInstance
+from ..exceptions import EngineError
+from . import registry
+from .cache import ResultCache
+from .executors import Executor, default_executor
+from .job import BatchSpec, JobResult, JobSpec, Record, make_jobs_for_instance
+
+__all__ = ["BatchResult", "run_batch", "ratio_sweep_batch"]
+
+
+@dataclass
+class BatchResult:
+    """Everything :func:`run_batch` knows after a batch completes."""
+
+    results: List[JobResult] = field(default_factory=list)
+    executed_jobs: int = 0
+    cached_jobs: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def records(self) -> List[Record]:
+        """All job records, flattened in job-submission order."""
+        flat: List[Record] = []
+        for result in self.results:
+            flat.extend(result.records)
+        return flat
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchResult(jobs={len(self.results)}, executed={self.executed_jobs}, "
+            f"cached={self.cached_jobs}, elapsed={self.elapsed_s:.3f}s)"
+        )
+
+
+def run_batch(
+    batch: BatchSpec,
+    *,
+    executor: Optional[Executor] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    cache_dir: Optional[Union[str, "object"]] = None,
+) -> BatchResult:
+    """Execute a batch: cache lookup → fan-out of misses → ordered reassembly.
+
+    Parameters
+    ----------
+    batch:
+        The jobs to run.
+    executor:
+        Explicit executor; overrides ``jobs``.
+    jobs:
+        Convenience knob: ``None``/``1`` → :class:`SerialExecutor`, ``N > 1``
+        → :class:`ParallelExecutor` with ``N`` workers.
+    cache / cache_dir:
+        An open :class:`ResultCache`, or a directory to open one in.  With a
+        warm cache a re-run executes **zero** jobs (``executed_jobs == 0``).
+    """
+    if executor is None:
+        executor = default_executor(jobs)
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(cache_dir)
+
+    start = time.perf_counter()
+    keys = [spec.cache_key(registry.solver_version(spec.algorithm)) for spec in batch.jobs]
+
+    pending: List[Tuple[int, JobSpec]] = []
+    slots: List[Optional[JobResult]] = [None] * len(batch.jobs)
+    for index, (spec, key) in enumerate(zip(batch.jobs, keys)):
+        cached = cache.get(key) if cache is not None else None
+        if cached is not None:
+            slots[index] = JobResult(spec=spec, records=cached, from_cache=True)
+        else:
+            pending.append((index, spec))
+
+    if pending:
+        job_start = time.perf_counter()
+        outputs = executor.map_jobs([spec for _, spec in pending])
+        if len(outputs) != len(pending):
+            raise EngineError(
+                f"executor {executor!r} returned {len(outputs)} outputs for "
+                f"{len(pending)} jobs; result/owner alignment would be corrupted"
+            )
+        per_job = (time.perf_counter() - job_start) / len(pending)
+        for (index, spec), records in zip(pending, outputs):
+            if cache is not None:
+                cache.put(keys[index], records)
+            slots[index] = JobResult(spec=spec, records=records, elapsed_s=per_job)
+
+    results = [slot for slot in slots if slot is not None]
+    return BatchResult(
+        results=results,
+        executed_jobs=len(pending),
+        cached_jobs=len(batch.jobs) - len(pending),
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+def ratio_sweep_batch(
+    instances: Iterable[MaxMinInstance],
+    *,
+    R_values=(2, 3, 4),
+    include_safe: bool = True,
+    include_optimum: bool = False,
+    tu_method: str = "recursion",
+) -> BatchSpec:
+    """Build the batch equivalent of :func:`repro.analysis.sweeps.run_ratio_sweep`.
+
+    Job order reproduces the legacy serial sweep exactly: instances in
+    iteration order, and per instance the ``compare_algorithms`` record order
+    (local for each R, then safe, then the optional LP row).  ``owners`` maps
+    each job back to its instance index.
+    """
+    batch = BatchSpec()
+    for index, instance in enumerate(instances):
+        batch.extend(
+            make_jobs_for_instance(
+                instance,
+                R_values=R_values,
+                include_safe=include_safe,
+                include_optimum=include_optimum,
+                tu_method=tu_method,
+            ),
+            owner=index,
+        )
+    return batch

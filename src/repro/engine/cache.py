@@ -1,0 +1,91 @@
+"""Content-addressed on-disk result cache.
+
+Entries are keyed by :meth:`repro.engine.job.JobSpec.cache_key` — a SHA-256
+over (instance content digest, algorithm, solver version, parameters) — so a
+cache hit is valid by construction: any change to the instance, the
+algorithm's version tag or its parameters lands on a different key.  There is
+no invalidation protocol to get wrong; stale entries are simply never
+addressed again (and can be garbage-collected by deleting the directory).
+
+The layout is git-object-like (``<root>/<key[:2]>/<key>.json``) to keep
+directory fan-out bounded on large sweeps.  Writes go through a temp file +
+``os.replace`` so concurrent writers of the *same* key (e.g. two sweep
+processes sharing a cache dir) race benignly: both write identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..exceptions import EngineError
+from .job import Record
+
+__all__ = ["ResultCache"]
+
+_FORMAT = "repro.engine-result"
+_VERSION = 1
+
+
+class ResultCache:
+    """A directory of cached job results, addressed by cache key."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise EngineError(f"cache directory {str(self.root)!r} exists but is not a directory")
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[List[Record]]:
+        """The cached records for ``key``, or ``None`` on a miss.
+
+        Unreadable or malformed entries, and entries written by a different
+        cache-format version, count as misses (the job is simply recomputed
+        and the entry overwritten) — a half-written file from a crashed run
+        must never poison a sweep.
+        """
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            # ValueError covers both JSONDecodeError and UnicodeDecodeError
+            # (a truncated write can leave invalid UTF-8 behind).
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != _FORMAT
+            or payload.get("version") != _VERSION
+            or not isinstance(payload.get("records"), list)
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["records"]
+
+    def put(self, key: str, records: List[Record]) -> Path:
+        """Store the records for ``key``; returns the entry path."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "key": key,
+            "records": records,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultCache(root={str(self.root)!r}, hits={self.hits}, misses={self.misses})"

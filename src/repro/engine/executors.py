@@ -1,0 +1,117 @@
+"""Executors: strategies for mapping job specs to records.
+
+:class:`SerialExecutor` runs jobs in-process (reference semantics, easy to
+debug, monkeypatch-friendly for tests).  :class:`ParallelExecutor` fans the
+same jobs out over a :class:`concurrent.futures.ProcessPoolExecutor` in
+contiguous chunks and reassembles the outputs **in submission order**, so the
+two executors are observationally identical: same records, same order, for
+any batch.  That equivalence is the engine's core contract and is asserted by
+a property test in ``tests/test_engine.py``.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from ..exceptions import EngineError
+from . import registry
+from .job import JobSpec, Record
+
+__all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "default_executor"]
+
+
+class Executor(abc.ABC):
+    """Maps an ordered sequence of job specs to their record lists."""
+
+    name: str = "executor"
+
+    @abc.abstractmethod
+    def map_jobs(self, specs: Sequence[JobSpec]) -> List[List[Record]]:
+        """Execute every spec; ``result[j]`` holds the records of ``specs[j]``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(Executor):
+    """Run every job in the calling process, one after the other."""
+
+    name = "serial"
+
+    def map_jobs(self, specs: Sequence[JobSpec]) -> List[List[Record]]:
+        # Resolved through the module so tests can monkeypatch
+        # ``registry.execute_job`` to count or stub solver calls.
+        return [registry.execute_job(spec) for spec in specs]
+
+
+def _run_chunk(chunk_index: int, specs: List[JobSpec]) -> Tuple[int, List[List[Record]]]:
+    """Worker-side entry point: execute one contiguous chunk of jobs.
+
+    Module-level so it pickles by reference; each spec carries its instance
+    as a JSON string and is deserialized here, on the worker, keeping the
+    dispatch payload small.
+    """
+    return chunk_index, [registry.execute_job(spec) for spec in specs]
+
+
+class ParallelExecutor(Executor):
+    """Chunked fan-out over a process pool with deterministic output order.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to ``os.cpu_count()``.
+    chunk_size:
+        Jobs per dispatched chunk.  Defaults to spreading the batch over
+        roughly four chunks per worker — small enough to load-balance
+        heterogeneous job costs, large enough to amortise pickling.
+    """
+
+    name = "parallel"
+
+    def __init__(self, max_workers: Optional[int] = None, chunk_size: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise EngineError(f"max_workers must be >= 1, got {max_workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise EngineError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.chunk_size = chunk_size
+
+    def _chunks(self, specs: Sequence[JobSpec]) -> List[Tuple[int, List[JobSpec]]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(specs) // (self.max_workers * 4)))
+        return [
+            (start // size, list(specs[start : start + size]))
+            for start in range(0, len(specs), size)
+        ]
+
+    def map_jobs(self, specs: Sequence[JobSpec]) -> List[List[Record]]:
+        if not specs:
+            return []
+        if self.max_workers == 1 or len(specs) == 1:
+            # A one-worker pool would only add process overhead.
+            return SerialExecutor().map_jobs(specs)
+        chunks = self._chunks(specs)
+        outputs: List[Optional[List[List[Record]]]] = [None] * len(chunks)
+        with ProcessPoolExecutor(max_workers=min(self.max_workers, len(chunks))) as pool:
+            futures = [pool.submit(_run_chunk, index, chunk) for index, chunk in chunks]
+            for future in futures:
+                index, chunk_records = future.result()
+                outputs[index] = chunk_records
+        flat: List[List[Record]] = []
+        for chunk_records in outputs:
+            if chunk_records is None:  # pragma: no cover - defensive
+                raise EngineError("worker chunk vanished without a result")
+            flat.extend(chunk_records)
+        return flat
+
+
+def default_executor(jobs: Optional[int] = None) -> Executor:
+    """The executor implied by a ``--jobs N`` style knob (``None``/1 → serial)."""
+    if jobs is None or jobs <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(max_workers=jobs)

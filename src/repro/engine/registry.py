@@ -1,0 +1,87 @@
+"""Algorithm registry: how a :class:`~repro.engine.job.JobSpec` is executed.
+
+:func:`execute_job` is the single worker-side entry point — the serial and
+the process-pool executors both funnel through it.  It deserializes the
+instance, dispatches on ``spec.algorithm`` and produces records through the
+same evaluators :func:`repro.analysis.ratios.compare_algorithms` uses, so
+batch output is interchangeable with the legacy serial sweep by
+construction, not by parallel maintenance of two code paths.
+
+Jobs are self-contained (they share no state with sibling jobs), which is
+what lets the pool schedule them independently and the cache address them
+individually.  The shared per-instance work — deserialization and the exact
+LP solve — is memoised per process keyed by the instance JSON, so the
+sibling jobs of one instance pay for it once per worker, matching the cost
+profile of the legacy loop.  The LP solve is deterministic, so memoised or
+not, an instance's jobs report bit-identical ``optimum`` fields.
+
+``SOLVER_VERSIONS`` feeds the result cache: a cache entry is keyed by the
+version of the algorithm that produced it, so bumping a version here (or in
+a future PR that changes an algorithm's output) invalidates exactly the
+stale entries and nothing else.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from ..analysis.ratios import (
+    evaluate_local_algorithm,
+    evaluate_lp_optimum,
+    evaluate_safe_algorithm,
+)
+from ..core.instance import MaxMinInstance
+from ..core.lp import LPResult, solve_maxmin_lp
+from ..exceptions import EngineError
+from ..io.serialization import instance_from_json
+from .job import JobSpec, Record
+
+__all__ = ["SOLVER_VERSIONS", "solver_version", "execute_job"]
+
+#: Version tag per registered algorithm.  Bump when an algorithm's *output*
+#: changes; cached results from older versions are then recomputed.
+SOLVER_VERSIONS: Dict[str, str] = {
+    "local": "1",
+    "safe": "1",
+    "lp-optimum": "1",
+}
+
+
+def solver_version(algorithm: str) -> str:
+    """The cache-key version tag for a registered algorithm."""
+    try:
+        return SOLVER_VERSIONS[algorithm]
+    except KeyError:
+        raise EngineError(
+            f"unknown algorithm {algorithm!r}; registered: {sorted(SOLVER_VERSIONS)}"
+        ) from None
+
+
+@lru_cache(maxsize=32)
+def _instance_and_lp(instance_json: str) -> Tuple[MaxMinInstance, LPResult]:
+    """Per-process memo of the per-instance shared work (deserialize + exact LP)."""
+    instance = instance_from_json(instance_json)
+    return instance, solve_maxmin_lp(instance)
+
+
+def execute_job(spec: JobSpec) -> List[Record]:
+    """Run one job and return its flat sweep records."""
+    solver_version(spec.algorithm)  # reject unknown algorithms before solving
+    instance, lp = _instance_and_lp(spec.instance_json)
+    params = spec.param_dict()
+
+    if spec.algorithm == "local":
+        R = int(params.get("R", 3))
+        tu_method = str(params.get("tu_method", "recursion"))
+        return [
+            evaluate_local_algorithm(instance, R=R, tu_method=tu_method, optimum=lp.optimum)
+        ]
+
+    if spec.algorithm == "safe":
+        return [evaluate_safe_algorithm(instance, optimum=lp.optimum)]
+
+    if spec.algorithm == "lp-optimum":
+        return [evaluate_lp_optimum(instance, lp=lp)]
+
+    raise EngineError(f"algorithm {spec.algorithm!r} has a version but no executor branch")

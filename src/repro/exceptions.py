@@ -17,6 +17,7 @@ __all__ = [
     "TransformError",
     "SimulationError",
     "SerializationError",
+    "EngineError",
 ]
 
 
@@ -73,3 +74,11 @@ class SimulationError(ReproError):
 
 class SerializationError(ReproError):
     """Raised when an instance or solution cannot be (de)serialized."""
+
+
+class EngineError(ReproError):
+    """Raised by the batch-execution engine (:mod:`repro.engine`).
+
+    Examples: a job referencing an unregistered algorithm, a worker process
+    dying mid-batch, or a corrupt result-cache entry that cannot be ignored.
+    """

@@ -2,6 +2,7 @@
 
 from .graphml import from_networkx, load_graphml, save_graphml, to_networkx
 from .serialization import (
+    instance_digest,
     instance_from_json,
     instance_to_json,
     load_instance,
@@ -13,6 +14,7 @@ from .serialization import (
 __all__ = [
     "instance_to_json",
     "instance_from_json",
+    "instance_digest",
     "save_instance",
     "load_instance",
     "solution_to_json",

@@ -10,6 +10,7 @@ with ``repr`` strings and will round-trip structurally but not by identity.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any, Dict, Mapping, Union
@@ -22,6 +23,7 @@ from ..exceptions import SerializationError
 __all__ = [
     "instance_to_json",
     "instance_from_json",
+    "instance_digest",
     "save_instance",
     "load_instance",
     "solution_to_json",
@@ -104,6 +106,24 @@ def instance_from_json(text: str) -> MaxMinInstance:
         )
     except (KeyError, TypeError) as exc:
         raise SerializationError(f"malformed instance document: {exc}") from exc
+
+
+def instance_digest(instance: Union[MaxMinInstance, str]) -> str:
+    """Stable SHA-256 content digest of an instance.
+
+    The digest is computed over the canonical JSON form produced by
+    :func:`instance_to_json`, so two instances hash equal exactly when their
+    names, node orders and sparse coefficients coincide.  It is stable across
+    processes and interpreter runs (no dependence on ``hash()`` randomisation)
+    and therefore suitable as a content-address for on-disk caches
+    (see :mod:`repro.engine.cache`).
+
+    Accepts either a live instance or a string already produced by
+    :func:`instance_to_json` (so callers that serialised the instance anyway
+    can avoid serialising twice).
+    """
+    text = instance if isinstance(instance, str) else instance_to_json(instance)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def save_instance(instance: MaxMinInstance, path: Union[str, Path]) -> Path:

@@ -3,8 +3,17 @@
 from __future__ import annotations
 
 import math
+import sys
+from pathlib import Path
 
 import pytest
+
+# Make the benchmark harness (benchmarks/_harness.py and friends) importable
+# from tests, mirroring how pytest resolves it when the benchmarks themselves
+# run (rootdir-relative, no package).
+_BENCHMARKS_DIR = str(Path(__file__).resolve().parents[1] / "benchmarks")
+if _BENCHMARKS_DIR not in sys.path:
+    sys.path.insert(0, _BENCHMARKS_DIR)
 
 from repro.core.builder import InstanceBuilder
 from repro.core.instance import MaxMinInstance
