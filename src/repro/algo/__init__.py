@@ -4,6 +4,14 @@ from .ablations import ABLATION_VARIANTS, ablation_report, solve_ablation
 from .alternating_tree import AlternatingTree, TreeNode, build_alternating_tree
 from .certificates import Certificate, verify_certificate
 from .general_solver import GeneralSolveResult, LocalMaxMinSolver, theorem1_ratio
+from .kernels import (
+    BatchedTrees,
+    batched_upper_bounds,
+    build_batched_trees,
+    g_recursion_kernel,
+    output_kernel,
+    smooth_bounds_kernel,
+)
 from .layers import (
     Layering,
     LayeringError,
@@ -44,6 +52,12 @@ __all__ = [
     "tree_optimum_lp",
     "compute_upper_bounds",
     "smooth_upper_bounds",
+    "BatchedTrees",
+    "build_batched_trees",
+    "batched_upper_bounds",
+    "smooth_bounds_kernel",
+    "g_recursion_kernel",
+    "output_kernel",
     "GRecursionValues",
     "SpecialFormLocalSolver",
     "SpecialFormSolveResult",

@@ -114,8 +114,10 @@ class LocalMaxMinSolver:
         Shifting parameter (≥ 2).  The guarantee is
         ``ΔI (1 − 1/ΔK)(1 + 1/(R − 1))`` and the local horizon grows as
         ``Θ(R)``.
-    tu_method, tu_tol:
-        Passed through to :class:`SpecialFormLocalSolver`.
+    tu_method, tu_tol, backend:
+        Passed through to :class:`SpecialFormLocalSolver` (``backend`` picks
+        the compiled vectorized kernels — the default — or the per-node
+        reference implementation).
     """
 
     def __init__(
@@ -124,9 +126,10 @@ class LocalMaxMinSolver:
         *,
         tu_method: str = "recursion",
         tu_tol: float = 1e-10,
+        backend: str = "vectorized",
     ) -> None:
         self.R = R
-        self.inner = SpecialFormLocalSolver(R, tu_method=tu_method, tu_tol=tu_tol)
+        self.inner = SpecialFormLocalSolver(R, tu_method=tu_method, tu_tol=tu_tol, backend=backend)
 
     @property
     def name(self) -> str:

@@ -1,0 +1,450 @@
+"""Vectorized kernels for the §5 special-form pipeline.
+
+The reference implementation (:mod:`repro.algo.upper_bound`,
+:mod:`repro.algo.local_solver`) walks per-node object graphs: one alternating
+tree per agent, a ~200-step bisection through a dict-based recursion per
+tree, one networkx BFS per agent for the smoothing step and per-node dict
+lookups in the ``g±`` recursion.  These kernels compute the same quantities
+over the int-indexed CSR arrays of a
+:class:`~repro.core.compiled.CompiledInstance`:
+
+* :func:`build_batched_trees` constructs *all* alternating trees ``A_u``
+  simultaneously as flat per-level arrays (the frontier expansion is a
+  vectorized gather, not an object BFS);
+* :func:`batched_upper_bounds` deduplicates structurally identical trees by
+  canonical signature (symmetric families — cycles, grids, regular graphs —
+  collapse to a handful of distinct trees) and runs the ``t_u`` bisection
+  for all distinct trees at once: numpy ``lo``/``hi`` vectors, one
+  level-ordered ``f±`` sweep per iteration;
+* :func:`smooth_bounds_kernel` replaces the ``n`` per-agent BFS calls with
+  ``2r + 1`` rounds of synchronous neighbour-min propagation over the
+  agent-level adjacency (one round per *pair* of communication-graph edges,
+  so the radius covered is exactly the paper's ``4r + 2``), ``O((n+m)·r)``
+  total;
+* :func:`g_recursion_kernel` / :func:`output_kernel` evaluate Eqs. 12–14 and
+  Eq. 18 as whole-vector operations.
+
+Floating-point parity: every segmented reduction runs in the same canonical
+adjacency order as the reference implementation's Python loops, so the two
+backends agree to within bisection tolerance (the equivalence property tests
+in ``tests/test_kernels.py`` pin this at 1e-9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.compiled import CompiledInstance, _segment_gather
+from ..exceptions import SolverError
+from .alternating_tree import build_alternating_tree
+from .upper_bound import (
+    DEFAULT_BISECTION_TOL,
+    MAX_BISECTION_ITERATIONS,
+    tree_optimum_lp,
+)
+
+__all__ = [
+    "BatchedTrees",
+    "build_batched_trees",
+    "batched_upper_bounds",
+    "smooth_bounds_kernel",
+    "g_recursion_kernel",
+    "output_kernel",
+]
+
+#: Level kinds of the batched tree layout (see :class:`TreeLevel`).
+_MINUS = "minus"
+_PLUS = "plus"
+
+
+class TreeLevel:
+    """One agent level of the batched alternating-tree layout.
+
+    Level ``j`` holds the agent nodes of *every* tree at tree level
+    ``2j − 1`` (``j = 0`` is the root level, paper level ``−1``); each
+    tree's nodes form a contiguous block.  ``j`` odd ⇒ ``f⁺`` nodes
+    (paper levels ``≡ 1 (mod 4)``), ``j`` even ⇒ ``f⁻`` nodes.
+
+    Attributes
+    ----------
+    nodes:
+        Instance-agent position of each tree node.
+    kind:
+        ``"plus"`` or ``"minus"`` — which half of the ``f±`` recursion
+        applies at this level.
+    root_indptr:
+        Per-tree segment boundaries into ``nodes`` (length ``T + 1``).
+    tree_of_node:
+        Tree index of each node (for broadcasting per-tree ``ω``).
+    child_indptr:
+        Per-node boundaries into the *next* level's nodes (absent on the
+        deepest level).
+    a_self, a_partner:
+        For levels entered via constraint expansion (``kind == "minus"``,
+        ``j ≥ 2``): the edge coefficients ``a_iv`` / ``a_{i,n(v,i)}`` of the
+        constraint between each node and its parent, aligned with ``nodes``.
+    """
+
+    __slots__ = ("nodes", "kind", "root_indptr", "tree_of_node", "child_indptr", "a_self", "a_partner")
+
+    def __init__(self, nodes: np.ndarray, kind: str, root_counts: np.ndarray) -> None:
+        self.nodes = nodes
+        self.kind = kind
+        self.root_indptr = np.zeros(len(root_counts) + 1, dtype=np.int64)
+        np.cumsum(root_counts, out=self.root_indptr[1:])
+        self.tree_of_node = np.repeat(np.arange(len(root_counts), dtype=np.int64), root_counts)
+        self.child_indptr: Optional[np.ndarray] = None
+        self.a_self: Optional[np.ndarray] = None
+        self.a_partner: Optional[np.ndarray] = None
+
+    @property
+    def root_counts(self) -> np.ndarray:
+        return np.diff(self.root_indptr)
+
+
+class BatchedTrees:
+    """All alternating trees of one instance, concatenated level by level."""
+
+    __slots__ = ("comp", "r", "roots", "levels")
+
+    def __init__(self, comp: CompiledInstance, r: int, roots: np.ndarray, levels: List[TreeLevel]) -> None:
+        self.comp = comp
+        self.r = r
+        self.roots = roots
+        self.levels = levels
+
+    @property
+    def num_trees(self) -> int:
+        return len(self.roots)
+
+    def total_nodes(self) -> int:
+        return sum(len(level.nodes) for level in self.levels)
+
+    # ------------------------------------------------------------------
+    def signatures(self) -> List[bytes]:
+        """Canonical per-tree structure signature for deduplication.
+
+        Two trees with equal signatures have identical child structure, edge
+        coefficients and node capacities at every level, hence identical
+        ``f±`` recursions and identical ``t_u``.  Node *identities* are
+        deliberately excluded: a cycle's ``n`` rotationally equivalent trees
+        all collapse to one signature.
+        """
+        capacity = self.comp.capacity
+        per_level_parts: List[List[np.ndarray]] = []
+        for level in self.levels:
+            parts = [capacity[level.nodes]]
+            if level.child_indptr is not None:
+                parts.append(np.diff(level.child_indptr))
+            if level.a_self is not None:
+                parts.append(level.a_self)
+                parts.append(level.a_partner)
+            per_level_parts.append(parts)
+        sigs: List[bytes] = []
+        for t in range(self.num_trees):
+            chunks = []
+            for level, parts in zip(self.levels, per_level_parts):
+                lo, hi = level.root_indptr[t], level.root_indptr[t + 1]
+                for arr in parts:
+                    payload = arr[lo:hi].tobytes()
+                    # Length-prefix each chunk: raw float bytes may contain
+                    # any separator byte, so framing is what keeps the
+                    # encoding injective across different level shapes.
+                    chunks.append(len(payload).to_bytes(8, "little"))
+                    chunks.append(payload)
+            sigs.append(b"".join(chunks))
+        return sigs
+
+    def select(self, tree_indices: np.ndarray) -> "BatchedTrees":
+        """A new :class:`BatchedTrees` restricted to the given trees."""
+        levels: List[TreeLevel] = []
+        for level in self.levels:
+            counts = level.root_counts[tree_indices]
+            idx = _segment_gather(level.root_indptr[:-1][tree_indices], counts)
+            new = TreeLevel(level.nodes[idx], level.kind, counts)
+            if level.child_indptr is not None:
+                child_counts = np.diff(level.child_indptr)[idx]
+                new.child_indptr = np.zeros(len(idx) + 1, dtype=np.int64)
+                np.cumsum(child_counts, out=new.child_indptr[1:])
+            if level.a_self is not None:
+                new.a_self = level.a_self[idx]
+                new.a_partner = level.a_partner[idx]
+            levels.append(new)
+        return BatchedTrees(self.comp, self.r, self.roots[tree_indices], levels)
+
+
+def build_batched_trees(
+    comp: CompiledInstance,
+    r: int,
+    targets: Optional[np.ndarray] = None,
+) -> BatchedTrees:
+    """Construct the alternating trees of all ``targets`` (default: all agents).
+
+    The expansion mirrors :func:`repro.algo.alternating_tree.build_alternating_tree`
+    exactly — same child order, same non-backtracking rule — but processes the
+    whole frontier of every tree at once with CSR gathers.  Only the agent
+    nodes are materialised (constraint and objective nodes carry no recursion
+    state; their coefficients are folded into the edge arrays), and the level
+    ``−2`` leaf constraints are represented by the root capacity alone.
+    """
+    if r < 0:
+        raise SolverError(f"alternating tree parameter r must be >= 0, got {r}")
+    roots = (
+        np.arange(comp.num_agents, dtype=np.int64)
+        if targets is None
+        else np.asarray(targets, dtype=np.int64)
+    )
+    T = len(roots)
+    con_deg = np.diff(comp.con_indptr)
+    oagent_deg = np.diff(comp.oagents_indptr)
+
+    levels: List[TreeLevel] = []
+    root_level = TreeLevel(roots, _MINUS, np.ones(T, dtype=np.int64))
+    levels.append(root_level)
+
+    cur = root_level
+    for j in range(1, 2 * r + 2):
+        if cur.kind == _MINUS:
+            # Objective expansion: children are the siblings of each node in
+            # its unique objective, in canonical row order (self excluded).
+            rows = comp.obj_of_agent[cur.nodes]
+            deg = oagent_deg[rows]
+            flat = _segment_gather(comp.oagents_indptr[rows], deg)
+            members = comp.oagents_indices[flat]
+            owner = np.repeat(cur.nodes, deg)
+            keep = members != owner
+            children = members[keep]
+            counts = deg - 1
+            nxt = TreeLevel(children, _PLUS, _reduce_counts(counts, cur.root_indptr))
+        else:
+            # Constraint expansion: one child (the partner agent) per
+            # constraint edge of each node, in canonical adjacency order.
+            deg = con_deg[cur.nodes]
+            flat = _segment_gather(comp.con_indptr[cur.nodes], deg)
+            children = comp.con_partner[flat]
+            counts = deg
+            nxt = TreeLevel(children, _MINUS, _reduce_counts(counts, cur.root_indptr))
+            nxt.a_self = comp.con_coeff[flat]
+            nxt.a_partner = comp.con_partner_coeff[flat]
+        cur.child_indptr = np.zeros(len(cur.nodes) + 1, dtype=np.int64)
+        np.cumsum(counts, out=cur.child_indptr[1:])
+        levels.append(nxt)
+        cur = nxt
+
+    return BatchedTrees(comp, r, roots, levels)
+
+
+def _reduce_counts(counts: np.ndarray, root_indptr: np.ndarray) -> np.ndarray:
+    """Per-tree totals of a per-node count array (empty-batch safe)."""
+    if len(counts) == 0:
+        return np.zeros(len(root_indptr) - 1, dtype=np.int64)
+    return np.add.reduceat(counts, root_indptr[:-1])
+
+
+def _recursion_margins(bt: BatchedTrees, omega: np.ndarray) -> np.ndarray:
+    """Per-tree feasibility margin of the ``f±`` recursion at per-tree ``ω``.
+
+    Equals :func:`repro.algo.tree_recursion.recursion_margin` of every tree:
+    the minimum of all ``f⁺`` values (Eq. 8) and of the root slack
+    ``cap(u) − f⁻_{u,u,r}`` (Eq. 9).  One bottom-up sweep over the level
+    arrays, all trees in lockstep.
+    """
+    comp = bt.comp
+    capacity = comp.capacity
+    deepest = bt.levels[-1]
+    vals = capacity[deepest.nodes]
+    min_fp = np.minimum.reduceat(vals, deepest.root_indptr[:-1])
+
+    for j in range(len(bt.levels) - 2, -1, -1):
+        level = bt.levels[j]
+        child = bt.levels[j + 1]
+        if level.kind == _MINUS:
+            # Eq. 6: f⁻ = max(0, ω − Σ f⁺ of the objective's other agents).
+            sums = np.add.reduceat(vals, level.child_indptr[:-1])
+            vals = np.maximum(0.0, omega[level.tree_of_node] - sums)
+        else:
+            # Eq. 7: f⁺ = min over constraint edges of (1 − a_partner f⁻)/a_self.
+            cand = (1.0 - child.a_partner * vals) / child.a_self
+            vals = np.minimum.reduceat(cand, level.child_indptr[:-1])
+            np.minimum(min_fp, np.minimum.reduceat(vals, level.root_indptr[:-1]), out=min_fp)
+
+    # vals now holds f⁻ at the root (one node per tree).
+    root_slack = capacity[bt.levels[0].nodes] - vals
+    return np.minimum(min_fp, root_slack)
+
+
+def _batched_bisection(
+    bt: BatchedTrees,
+    tol: float,
+    max_iterations: int,
+) -> np.ndarray:
+    """``t_u`` for every tree in the batch via simultaneous binary search.
+
+    Vectorization of :func:`repro.algo.upper_bound.tree_optimum_binary_search`
+    with per-tree ``lo``/``hi`` brackets: identical upper limit, identical
+    per-tree stopping rule (``hi − lo ≤ tol`` or the iteration cap), one
+    shared ``f±`` sweep per iteration.
+    """
+    comp = bt.comp
+    T = bt.num_trees
+    if T == 0:
+        return np.zeros(0, dtype=np.float64)
+
+    # Upper search limit: the root objective's value can never exceed the sum
+    # of its agents' individual capacities (cf. _search_upper_limit).
+    root_caps = comp.capacity[bt.levels[0].nodes]
+    lvl1 = bt.levels[1]
+    hi0 = root_caps + _reduce_counts_float(comp.capacity[lvl1.nodes], lvl1.root_indptr)
+    if np.isinf(hi0).any():
+        bad = bt.roots[int(np.argmax(np.isinf(hi0)))]
+        raise SolverError(
+            f"agent {comp.agents[bad]!r} has no constraint; "
+            "run preprocessing before the local algorithm"
+        )
+
+    t = np.zeros(T, dtype=np.float64)
+    positive = hi0 > 0.0
+    feasible_at_hi = np.zeros(T, dtype=bool)
+    if positive.any():
+        feasible_at_hi = _recursion_margins(bt, hi0) >= 0.0
+    t[positive & feasible_at_hi] = hi0[positive & feasible_at_hi]
+
+    active = positive & ~feasible_at_hi
+    lo = np.zeros(T, dtype=np.float64)
+    hi = hi0.copy()
+    iterations = 0
+    while iterations < max_iterations:
+        active &= (hi - lo) > tol
+        if not active.any():
+            break
+        mid = 0.5 * (lo + hi)
+        feasible = _recursion_margins(bt, mid) >= 0.0
+        take = active & feasible
+        lo[take] = mid[take]
+        drop = active & ~feasible
+        hi[drop] = mid[drop]
+        iterations += 1
+
+    bisected = positive & ~feasible_at_hi
+    t[bisected] = lo[bisected]
+    return t
+
+
+def _reduce_counts_float(values: np.ndarray, root_indptr: np.ndarray) -> np.ndarray:
+    if len(values) == 0:
+        return np.zeros(len(root_indptr) - 1, dtype=np.float64)
+    return np.add.reduceat(values, root_indptr[:-1])
+
+
+def batched_upper_bounds(
+    comp: CompiledInstance,
+    r: int,
+    *,
+    method: str = "recursion",
+    tol: float = DEFAULT_BISECTION_TOL,
+    max_iterations: int = MAX_BISECTION_ITERATIONS,
+    targets: Optional[np.ndarray] = None,
+    deduplicate: bool = True,
+) -> np.ndarray:
+    """``t_u`` per agent (positions ``targets``, default all) — batched.
+
+    Builds all alternating trees at once, groups them by canonical signature
+    and computes one ``t_u`` per *distinct* tree: via the simultaneous
+    bisection for ``method="recursion"``, or via one exact tree-LP solve per
+    representative for ``method="lp"`` (the LP itself is not vectorizable,
+    but symmetric families still collapse to a handful of solves).
+    """
+    if method not in ("recursion", "lp"):
+        raise ValueError(f"unknown t_u method {method!r} (expected 'recursion' or 'lp')")
+    bt = build_batched_trees(comp, r, targets)
+    if bt.num_trees == 0:
+        return np.zeros(0, dtype=np.float64)
+
+    if deduplicate:
+        sigs = bt.signatures()
+        first_of: Dict[bytes, int] = {}
+        representatives: List[int] = []
+        group_of = np.empty(bt.num_trees, dtype=np.int64)
+        for t, sig in enumerate(sigs):
+            g = first_of.setdefault(sig, len(representatives))
+            if g == len(representatives):
+                representatives.append(t)
+            group_of[t] = g
+        rep_idx = np.asarray(representatives, dtype=np.int64)
+    else:
+        rep_idx = np.arange(bt.num_trees, dtype=np.int64)
+        group_of = rep_idx
+
+    if method == "lp":
+        instance = comp.instance
+        rep_t = np.asarray(
+            [
+                tree_optimum_lp(
+                    build_alternating_tree(instance, comp.agents[int(bt.roots[t])], r, validate=False)
+                )
+                for t in rep_idx
+            ],
+            dtype=np.float64,
+        )
+    else:
+        rep_bt = bt.select(rep_idx) if len(rep_idx) < bt.num_trees else bt
+        rep_t = _batched_bisection(rep_bt, tol, max_iterations)
+
+    return rep_t[group_of]
+
+
+def smooth_bounds_kernel(comp: CompiledInstance, t: np.ndarray, r: int) -> np.ndarray:
+    """Smoothed bounds ``s_v = min { t_u : dist_G(u, v) ≤ 4r + 2 }`` — batched.
+
+    ``2r + 1`` synchronous rounds of neighbour-min propagation over the
+    agent-level adjacency (constraint partners ∪ objective siblings = the
+    agents at graph distance exactly 2), so round ``p`` covers graph radius
+    ``2p``; total work ``O((n + m)·r)`` instead of ``n`` BFS traversals.
+    Converged propagation stops early (small-diameter components).
+    """
+    s = np.array(t, dtype=np.float64, copy=True)
+    if comp.num_agents == 0:
+        return s
+    indptr, indices = comp.smoothing_adjacency
+    nonempty = np.flatnonzero(np.diff(indptr) > 0)
+    if len(nonempty) == 0:
+        return s
+    for _ in range(2 * r + 1):
+        neighbour_min = np.minimum.reduceat(s[indices], indptr[nonempty])
+        updated = np.minimum(s[nonempty], neighbour_min)
+        if np.array_equal(updated, s[nonempty]):
+            break
+        s[nonempty] = updated
+    return s
+
+
+def g_recursion_kernel(
+    comp: CompiledInstance, smoothed: np.ndarray, r: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The ``g±`` recursion (Eqs. 12–14) as ``(r+1) × n`` arrays — batched.
+
+    Row ``d`` of the returned ``(g_plus, g_minus)`` pair holds the depth-``d``
+    values for every agent; each depth is two whole-vector operations (a
+    segmented min over constraint edges and a sibling-sum via per-objective
+    bincount).
+    """
+    n = comp.num_agents
+    g_plus = np.empty((r + 1, n), dtype=np.float64)
+    g_minus = np.empty((r + 1, n), dtype=np.float64)
+    if n == 0:
+        return g_plus, g_minus
+    g_plus[0] = comp.capacity
+    for d in range(r + 1):
+        if d >= 1:
+            gm_prev = g_minus[d - 1]
+            cand = (1.0 - comp.con_partner_coeff * gm_prev[comp.con_partner]) / comp.con_coeff
+            g_plus[d] = np.minimum.reduceat(cand, comp.con_indptr[:-1])
+        g_minus[d] = np.maximum(0.0, smoothed - comp.sibling_sums(g_plus[d]))
+    return g_plus, g_minus
+
+
+def output_kernel(g_plus: np.ndarray, g_minus: np.ndarray, R: int) -> np.ndarray:
+    """Eq. 18: ``x_v = (1/2R) Σ_d (g⁺_{v,d} + g⁻_{v,d})`` — batched."""
+    return (g_plus.sum(axis=0) + g_minus.sum(axis=0)) / (2.0 * R)

@@ -134,6 +134,12 @@ def smooth_upper_bounds(
     Distances are measured in edges of the communication graph (agents sit at
     even distances from each other).  The minimum always includes ``t_v``
     itself (distance 0).
+
+    Contract: ``upper_bounds`` may cover only a subset of the agents (as
+    produced by :func:`compute_upper_bounds` with ``agents=``); agents
+    without a bound simply do not participate in any minimum.  A ball that
+    contains no bounded agent at all yields ``math.inf`` — the neutral
+    element, mirroring an agent whose ``t_u`` is not locally known.
     """
     graph = instance.communication_graph()
     radius = 4 * r + 2
@@ -144,8 +150,8 @@ def smooth_upper_bounds(
         for node, _dist in lengths.items():
             kind, name = node
             if kind is NodeType.AGENT:
-                t = upper_bounds[name]
-                if t < best:
+                t = upper_bounds.get(name)
+                if t is not None and t < best:
                     best = t
         smoothed[v] = best
     return smoothed

@@ -75,6 +75,7 @@ def evaluate_local_algorithm(
     *,
     R: int,
     tu_method: str = "recursion",
+    backend: str = "vectorized",
     optimum: Optional[float] = None,
 ) -> Dict[str, object]:
     """Run the local algorithm once and return its ``local-R{R}`` record.
@@ -82,7 +83,7 @@ def evaluate_local_algorithm(
     Shared by :func:`compare_algorithms` and the batch engine
     (:mod:`repro.engine.registry`) so their records cannot drift apart.
     """
-    result = LocalMaxMinSolver(R=R, tu_method=tu_method).solve(instance)
+    result = LocalMaxMinSolver(R=R, tu_method=tu_method, backend=backend).solve(instance)
     return evaluate_solution(
         instance,
         result.solution,
@@ -127,6 +128,7 @@ def compare_algorithms(
     include_safe: bool = True,
     include_optimum_row: bool = False,
     tu_method: str = "recursion",
+    backend: str = "vectorized",
 ) -> List[Dict[str, object]]:
     """Run the local algorithm (for each R) and the safe baseline on one instance."""
     lp = solve_maxmin_lp(instance)
@@ -134,7 +136,9 @@ def compare_algorithms(
 
     for R in R_values:
         records.append(
-            evaluate_local_algorithm(instance, R=R, tu_method=tu_method, optimum=lp.optimum)
+            evaluate_local_algorithm(
+                instance, R=R, tu_method=tu_method, backend=backend, optimum=lp.optimum
+            )
         )
 
     if include_safe:

@@ -33,6 +33,7 @@ def run_ratio_sweep(
     R_values: Sequence[int] = (2, 3, 4),
     include_safe: bool = True,
     tu_method: str = "recursion",
+    backend: str = "vectorized",
     extra_fields: Optional[Mapping[str, Callable[[MaxMinInstance], object]]] = None,
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
@@ -50,6 +51,9 @@ def run_ratio_sweep(
         Also run the safe baseline.
     tu_method:
         ``"recursion"`` or ``"lp"`` for the per-agent bound computation.
+    backend:
+        ``"vectorized"`` (compiled CSR kernels, default) or ``"reference"``
+        (per-node object traversal) for the local solver.
     extra_fields:
         Optional ``column -> f(instance)`` callables whose values are added
         to every record of that instance (e.g. a family label or a size
@@ -71,6 +75,7 @@ def run_ratio_sweep(
         R_values=R_values,
         include_safe=include_safe,
         tu_method=tu_method,
+        backend=backend,
         extra_fields=extra_fields,
         jobs=jobs,
         cache_dir=cache_dir,
@@ -85,6 +90,7 @@ def run_ratio_sweep_batch(
     R_values: Sequence[int] = (2, 3, 4),
     include_safe: bool = True,
     tu_method: str = "recursion",
+    backend: str = "vectorized",
     extra_fields: Optional[Mapping[str, Callable[[MaxMinInstance], object]]] = None,
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
@@ -105,6 +111,7 @@ def run_ratio_sweep_batch(
         R_values=R_values,
         include_safe=include_safe,
         tu_method=tu_method,
+        backend=backend,
     )
     result = run_batch(batch, executor=executor, jobs=jobs, cache_dir=cache_dir)
 

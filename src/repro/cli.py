@@ -68,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
     solve = sub.add_parser("solve", help="solve an instance JSON with the local algorithm")
     solve.add_argument("input", help="instance JSON path")
     solve.add_argument("-R", type=int, default=3, help="shifting parameter (>= 2)")
+    solve.add_argument(
+        "--backend",
+        choices=["vectorized", "reference"],
+        default="vectorized",
+        help="local-solver backend (compiled CSR kernels vs per-node reference)",
+    )
     solve.add_argument("--output", help="write the solution to this JSON path")
     solve.add_argument("--with-safe", action="store_true", help="also run the safe baseline")
     solve.add_argument("--with-optimum", action="store_true", help="also solve the exact LP")
@@ -100,6 +106,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["recursion", "lp"],
         default="recursion",
         help="per-agent bound computation method",
+    )
+    sweep.add_argument(
+        "--backend",
+        choices=["vectorized", "reference"],
+        default="vectorized",
+        help="local-solver backend (compiled CSR kernels vs per-node reference)",
     )
     sweep.add_argument(
         "--full-table", action="store_true", help="print every record, not just the summary"
@@ -149,6 +161,7 @@ def _sweep(args: argparse.Namespace) -> int:
         R_values=tuple(args.r_values),
         include_safe=not args.no_safe,
         tu_method=args.tu_method,
+        backend=args.backend,
         extra_fields={
             "family": lambda inst: args.family,
             "size": lambda inst: sizes_by_id[id(inst)],
@@ -183,7 +196,7 @@ def _sweep(args: argparse.Namespace) -> int:
 
 def _solve(args: argparse.Namespace) -> int:
     instance = load_instance(args.input)
-    solver = LocalMaxMinSolver(R=args.R)
+    solver = LocalMaxMinSolver(R=args.R, backend=args.backend)
     result = solver.solve(instance)
     rows = [
         {

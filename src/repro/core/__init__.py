@@ -6,6 +6,7 @@ degenerate-case preprocessing and an exact LP solver used as ground truth.
 """
 
 from .builder import InstanceBuilder
+from .compiled import CompiledInstance
 from .instance import DegreeStatistics, MaxMinInstance
 from .lp import LPResult, best_response_value, optimum_value, solve_maxmin_lp
 from .preprocess import PreprocessResult, preprocess
@@ -20,6 +21,7 @@ from .validation import (
 
 __all__ = [
     "InstanceBuilder",
+    "CompiledInstance",
     "MaxMinInstance",
     "DegreeStatistics",
     "Solution",

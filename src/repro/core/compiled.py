@@ -1,0 +1,296 @@
+"""Compiled numeric views of a :class:`~repro.core.instance.MaxMinInstance`.
+
+:class:`MaxMinInstance` is an object graph keyed by arbitrary hashable node
+identifiers — ideal for correctness and for the structural machinery of the
+paper, but every traversal pays Python dict/tuple overhead per node.  The
+vectorized solver kernels (:mod:`repro.algo.kernels`) instead operate on a
+:class:`CompiledInstance`: the same bipartite structure lowered once into
+int-indexed CSR (compressed sparse row) arrays so that whole-instance sweeps
+become a handful of :mod:`numpy` gather / segmented-reduce operations.
+
+The lowering is *index-compressed*: agents, constraints and objectives are
+numbered ``0 … n−1`` in their canonical (declaration) order, so positions in
+every array line up with :attr:`MaxMinInstance.agents` etc.  A compiled view
+is built once per instance and cached on the (immutable) instance via
+:meth:`MaxMinInstance.compiled`.
+
+Two layers are exposed:
+
+* the *generic* CSR adjacency (any instance): per-agent constraint and
+  objective edges with coefficients, and the reverse per-constraint /
+  per-objective agent lists;
+* the *special-form* view (``|V_i| = 2``, ``|K_v| = 1``): the partner agent
+  behind every agent–constraint edge, the unique objective per agent, and
+  the agent-level smoothing adjacency (constraint partners ∪ objective
+  siblings — exactly the agents at communication-graph distance 2).  Built
+  lazily on first access and rejected with :class:`NotSpecialFormError`
+  when the degree structure does not match.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple
+
+import numpy as np
+
+from ..exceptions import NotSpecialFormError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (instance imports us lazily)
+    from .instance import MaxMinInstance
+
+__all__ = ["CompiledInstance"]
+
+
+def _csr_from_rows(rows, index: Dict[object, int], coeff_lookup) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Lower ``rows`` (an iterable of (owner, members) pairs) to CSR arrays.
+
+    ``coeff_lookup(owner, member)`` supplies the edge coefficient; members are
+    mapped through ``index``.  Returns ``(indptr, indices, coefficients)``.
+    """
+    indptr = [0]
+    indices = []
+    coeffs = []
+    for owner, members in rows:
+        for member in members:
+            indices.append(index[member])
+            coeffs.append(coeff_lookup(owner, member))
+        indptr.append(len(indices))
+    return (
+        np.asarray(indptr, dtype=np.int64),
+        np.asarray(indices, dtype=np.int64),
+        np.asarray(coeffs, dtype=np.float64),
+    )
+
+
+class _SpecialFormView:
+    """Special-form-only arrays derived from the generic CSR layer."""
+
+    __slots__ = ("con_partner", "con_partner_coeff", "obj_of_agent", "adj_indptr", "adj_indices")
+
+    def __init__(self, compiled: "CompiledInstance") -> None:
+        inst = compiled.instance
+        n = compiled.num_agents
+        con_deg = np.diff(compiled.con_indptr)
+        obj_deg = np.diff(compiled.obj_indptr)
+        cagent_deg = np.diff(compiled.cagents_indptr)
+        oagent_deg = np.diff(compiled.oagents_indptr)
+        if compiled.num_constraints and not np.all(cagent_deg == 2):
+            raise NotSpecialFormError(
+                f"instance {inst.name!r} has constraints of degree != 2; "
+                "the compiled special-form view requires |V_i| = 2"
+            )
+        if n and not (np.all(obj_deg == 1) and np.all(con_deg >= 1)):
+            raise NotSpecialFormError(
+                f"instance {inst.name!r} violates |K_v| = 1 / |I_v| >= 1; "
+                "run the transformation pipeline before compiling the special-form view"
+            )
+        if compiled.num_objectives and not np.all(oagent_deg >= 2):
+            raise NotSpecialFormError(
+                f"instance {inst.name!r} has objectives of degree < 2"
+            )
+
+        # Partner behind each agent–constraint edge: the degree-2 constraint
+        # row holds exactly {owner, partner}.
+        owner = np.repeat(np.arange(n, dtype=np.int64), con_deg)
+        row_start = compiled.cagents_indptr[compiled.con_indices]
+        first = compiled.cagents_indices[row_start]
+        second = compiled.cagents_indices[row_start + 1]
+        first_coeff = compiled.cagents_coeff[row_start]
+        second_coeff = compiled.cagents_coeff[row_start + 1]
+        owner_is_first = first == owner
+        self.con_partner = np.where(owner_is_first, second, first)
+        self.con_partner_coeff = np.where(owner_is_first, second_coeff, first_coeff)
+
+        # Unique objective per agent (|K_v| = 1 verified above).
+        self.obj_of_agent = compiled.obj_indices[compiled.obj_indptr[:-1]].copy() if n else np.zeros(0, dtype=np.int64)
+
+        # Agent-level smoothing adjacency: constraint partners plus objective
+        # siblings.  These are exactly the agents at communication-graph
+        # distance 2 (agents sit at even distances in the bipartite graph),
+        # so one hop here equals two graph edges.
+        sib_counts = (oagent_deg[self.obj_of_agent] - 1) if n else np.zeros(0, dtype=np.int64)
+        sib_starts = compiled.oagents_indptr[self.obj_of_agent] if n else np.zeros(0, dtype=np.int64)
+        flat = _segment_gather(sib_starts, oagent_deg[self.obj_of_agent]) if n else np.zeros(0, dtype=np.int64)
+        members = compiled.oagents_indices[flat] if n else np.zeros(0, dtype=np.int64)
+        member_owner = np.repeat(np.arange(n, dtype=np.int64), oagent_deg[self.obj_of_agent]) if n else np.zeros(0, dtype=np.int64)
+        siblings = members[members != member_owner]
+
+        counts = con_deg + sib_counts
+        self.adj_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.adj_indptr[1:])
+        adj = np.empty(int(self.adj_indptr[-1]), dtype=np.int64)
+        # Interleave: per agent, first its constraint partners, then siblings.
+        con_pos = _segment_gather(self.adj_indptr[:-1], con_deg)
+        sib_pos = _segment_gather(self.adj_indptr[:-1] + con_deg, sib_counts)
+        adj[con_pos] = self.con_partner
+        adj[sib_pos] = siblings
+        self.adj_indices = adj
+
+
+def _segment_gather(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat index array enumerating ``starts[j] … starts[j]+counts[j]−1`` per segment.
+
+    The standard repeat/cumsum idiom: builds the concatenation of all segment
+    ranges without a Python loop.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    offsets = np.zeros(len(counts), dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    return np.arange(total, dtype=np.int64) - np.repeat(offsets, counts) + np.repeat(starts, counts)
+
+
+class CompiledInstance:
+    """Int-indexed CSR arrays of one :class:`MaxMinInstance` (see module docs).
+
+    Attributes
+    ----------
+    agents, constraints, objectives:
+        Canonical node orders (tuples, identical to the instance's).
+    agent_index, constraint_index, objective_index:
+        Reverse maps ``identifier -> position``.
+    con_indptr, con_indices, con_coeff:
+        Per-agent constraint edges: agent ``v``'s edges occupy
+        ``con_indptr[v]:con_indptr[v+1]``; ``con_indices`` holds constraint
+        positions, ``con_coeff`` holds ``a_iv`` — both in the instance's
+        canonical adjacency order, which the kernels rely on to match the
+        reference implementation's floating-point evaluation order.
+    obj_indptr, obj_indices, obj_coeff:
+        Per-agent objective edges (``c_kv``).
+    cagents_indptr, cagents_indices, cagents_coeff:
+        Per-constraint agent lists (``V_i``) with coefficients.
+    oagents_indptr, oagents_indices, oagents_coeff:
+        Per-objective agent lists (``V_k``) with coefficients.
+    capacity:
+        ``min_{i∈I_v} 1/a_iv`` per agent (``inf`` for unconstrained agents).
+    """
+
+    __slots__ = (
+        "instance",
+        "agents",
+        "constraints",
+        "objectives",
+        "agent_index",
+        "constraint_index",
+        "objective_index",
+        "con_indptr",
+        "con_indices",
+        "con_coeff",
+        "obj_indptr",
+        "obj_indices",
+        "obj_coeff",
+        "cagents_indptr",
+        "cagents_indices",
+        "cagents_coeff",
+        "oagents_indptr",
+        "oagents_indices",
+        "oagents_coeff",
+        "capacity",
+        "_special",
+    )
+
+    def __init__(self, instance: "MaxMinInstance") -> None:
+        self.instance = instance
+        self.agents = instance.agents
+        self.constraints = instance.constraints
+        self.objectives = instance.objectives
+        self.agent_index = {v: idx for idx, v in enumerate(self.agents)}
+        self.constraint_index = {i: idx for idx, i in enumerate(self.constraints)}
+        self.objective_index = {k: idx for idx, k in enumerate(self.objectives)}
+
+        self.con_indptr, self.con_indices, self.con_coeff = _csr_from_rows(
+            ((v, instance.constraints_of_agent(v)) for v in self.agents),
+            self.constraint_index,
+            lambda v, i: instance.a(i, v),
+        )
+        self.obj_indptr, self.obj_indices, self.obj_coeff = _csr_from_rows(
+            ((v, instance.objectives_of_agent(v)) for v in self.agents),
+            self.objective_index,
+            lambda v, k: instance.c(k, v),
+        )
+        self.cagents_indptr, self.cagents_indices, self.cagents_coeff = _csr_from_rows(
+            ((i, instance.agents_of_constraint(i)) for i in self.constraints),
+            self.agent_index,
+            lambda i, v: instance.a(i, v),
+        )
+        self.oagents_indptr, self.oagents_indices, self.oagents_coeff = _csr_from_rows(
+            ((k, instance.agents_of_objective(k)) for k in self.objectives),
+            self.agent_index,
+            lambda k, v: instance.c(k, v),
+        )
+
+        n = len(self.agents)
+        self.capacity = np.full(n, np.inf, dtype=np.float64)
+        if len(self.con_coeff):
+            nonempty = np.flatnonzero(np.diff(self.con_indptr) > 0)
+            inv = 1.0 / self.con_coeff
+            self.capacity[nonempty] = np.minimum.reduceat(inv, self.con_indptr[nonempty])
+
+        self._special = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_agents(self) -> int:
+        return len(self.agents)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def num_objectives(self) -> int:
+        return len(self.objectives)
+
+    # ------------------------------------------------------------------
+    # Special-form view
+    # ------------------------------------------------------------------
+    def _special_view(self) -> _SpecialFormView:
+        if self._special is None:
+            self._special = _SpecialFormView(self)
+        return self._special
+
+    @property
+    def con_partner(self) -> np.ndarray:
+        """Partner agent position behind each agent–constraint edge (|V_i| = 2)."""
+        return self._special_view().con_partner
+
+    @property
+    def con_partner_coeff(self) -> np.ndarray:
+        """``a_{i, n(v,i)}`` for each agent–constraint edge (|V_i| = 2)."""
+        return self._special_view().con_partner_coeff
+
+    @property
+    def obj_of_agent(self) -> np.ndarray:
+        """Position of the unique objective ``k(v)`` per agent (|K_v| = 1)."""
+        return self._special_view().obj_of_agent
+
+    @property
+    def smoothing_adjacency(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Agent-level CSR adjacency ``(indptr, indices)`` for the smoothing kernel.
+
+        Neighbours of agent ``v`` are its constraint partners and objective
+        siblings — the agents at communication-graph distance exactly 2.
+        ``2r + 1`` synchronous neighbour-min rounds over this adjacency
+        therefore equal the paper's radius-``4r + 2`` smoothing ball (``4r + 2``
+        rounds over the bipartite graph collapse pairwise, since agents only
+        meet at even distances).
+        """
+        view = self._special_view()
+        return view.adj_indptr, view.adj_indices
+
+    def sibling_sums(self, values: np.ndarray) -> np.ndarray:
+        """``Σ_{w ∈ N(v)} values[w]`` per agent (objective siblings, |K_v| = 1)."""
+        obj_of_agent = self.obj_of_agent
+        per_objective = np.bincount(
+            obj_of_agent, weights=values, minlength=self.num_objectives
+        )
+        return per_objective[obj_of_agent] - values
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompiledInstance({self.instance.name!r}, |V|={self.num_agents}, "
+            f"|I|={self.num_constraints}, |K|={self.num_objectives}, "
+            f"nnz={len(self.con_indices) + len(self.obj_indices)})"
+        )

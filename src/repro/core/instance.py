@@ -143,6 +143,8 @@ class MaxMinInstance:
         "_agent_set",
         "_constraint_set",
         "_objective_set",
+        "_graph_cache",
+        "_compiled_cache",
         "name",
     )
 
@@ -159,6 +161,9 @@ class MaxMinInstance:
         self._constraints: Tuple[NodeId, ...] = tuple(constraints)
         self._objectives: Tuple[NodeId, ...] = tuple(objectives)
         self.name = name
+
+        self._graph_cache: Optional["nx.Graph"] = None
+        self._compiled_cache = None
 
         self._agent_set = frozenset(self._agents)
         self._constraint_set = frozenset(self._constraints)
@@ -519,7 +524,14 @@ class MaxMinInstance:
 
         Nodes are ``(NodeType, id)`` pairs carrying a ``kind`` attribute;
         edges carry the coefficient in attribute ``coeff``.
+
+        The instance is immutable, so the graph is built once and the *same*
+        object is returned on every call (``is_connected``, dynamics diffing
+        and GraphML export previously each paid a full reconstruction).
+        Treat it as read-only — call ``.copy()`` before mutating.
         """
+        if self._graph_cache is not None:
+            return self._graph_cache
         g = nx.Graph(name=self.name)
         for v in self._agents:
             g.add_node(agent_node(v), kind=NodeType.AGENT)
@@ -531,7 +543,21 @@ class MaxMinInstance:
             g.add_edge(constraint_node(i), agent_node(v), coeff=coeff)
         for (k, v), coeff in self._c.items():
             g.add_edge(objective_node(k), agent_node(v), coeff=coeff)
+        self._graph_cache = g
         return g
+
+    def compiled(self) -> "CompiledInstance":
+        """The cached :class:`~repro.core.compiled.CompiledInstance` view.
+
+        Lowers the instance to int-indexed CSR arrays for the vectorized
+        solver kernels; built on first call and reused afterwards (the
+        instance is immutable, so the view can never go stale).
+        """
+        if self._compiled_cache is None:
+            from .compiled import CompiledInstance
+
+            self._compiled_cache = CompiledInstance(self)
+        return self._compiled_cache
 
     def neighbours(self, node: GraphNode) -> Tuple[GraphNode, ...]:
         """Neighbours of a ``(NodeType, id)`` node in the communication graph."""

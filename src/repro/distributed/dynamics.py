@@ -125,7 +125,9 @@ def measure_change_impact(
         if abs(solution_before[v] - solution_after[v]) > tol
     ]
 
-    graph = after.communication_graph()
+    # communication_graph() returns the instance's cached graph; copy before
+    # adding the vanished nodes of the old topology.
+    graph = after.communication_graph().copy()
     for node in before.communication_graph().nodes:
         if node not in graph:
             graph.add_node(node)

@@ -117,6 +117,7 @@ def ratio_sweep_batch(
     include_safe: bool = True,
     include_optimum: bool = False,
     tu_method: str = "recursion",
+    backend: str = "vectorized",
 ) -> BatchSpec:
     """Build the batch equivalent of :func:`repro.analysis.sweeps.run_ratio_sweep`.
 
@@ -134,6 +135,7 @@ def ratio_sweep_batch(
                 include_safe=include_safe,
                 include_optimum=include_optimum,
                 tu_method=tu_method,
+                backend=backend,
             ),
             owner=index,
         )

@@ -128,12 +128,15 @@ def make_jobs_for_instance(
     include_safe: bool = True,
     include_optimum: bool = False,
     tu_method: str = "recursion",
+    backend: str = "vectorized",
 ) -> List[JobSpec]:
     """The standard job slate for one instance, in canonical record order.
 
     The order matches :func:`repro.analysis.ratios.compare_algorithms`: the
     local algorithm for each ``R`` (ascending over ``R_values`` as given),
-    then the safe baseline, then the exact LP row.
+    then the safe baseline, then the exact LP row.  ``backend`` is part of
+    the job parameters (and hence the cache key): results produced by the
+    vectorized and the reference solver backends are addressed separately.
     """
     text = instance_to_json(instance)
     digest = instance_digest(text)
@@ -144,7 +147,9 @@ def make_jobs_for_instance(
                 instance_json=text,
                 instance_digest=digest,
                 algorithm="local",
-                params=_canonical_params({"R": int(R), "tu_method": tu_method}),
+                params=_canonical_params(
+                    {"R": int(R), "tu_method": tu_method, "backend": backend}
+                ),
             )
         )
     if include_safe:

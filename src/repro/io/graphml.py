@@ -30,7 +30,9 @@ def to_networkx(instance: MaxMinInstance, stringify: bool = True) -> "nx.Graph":
     """
     graph = instance.communication_graph()
     if not stringify:
-        return graph
+        # communication_graph() returns the instance's cached graph; hand out
+        # a copy so callers may freely annotate or prune the export.
+        return graph.copy()
     mapping = {node: f"{node[0].short}:{node[1]}" for node in graph.nodes}
     renamed = nx.relabel_nodes(graph, mapping)
     for node, data in renamed.nodes(data=True):

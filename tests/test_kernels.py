@@ -1,0 +1,236 @@
+"""Backend-equivalence and unit tests for the vectorized solver kernels.
+
+The vectorized backend (``repro.algo.kernels`` over a
+:class:`~repro.core.compiled.CompiledInstance`) must agree with the
+per-node reference implementation on every quantity the §5 pipeline
+produces: the per-agent bounds ``t_u``, the smoothed bounds ``s_v``, the
+output vector ``x`` and its utility — within 1e-9, across every generator
+family and both ``tu_method`` values.  These tests are the contract that
+lets the vectorized backend be the default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algo.kernels import (
+    batched_upper_bounds,
+    build_batched_trees,
+    g_recursion_kernel,
+    output_kernel,
+    smooth_bounds_kernel,
+)
+from repro.algo.local_solver import SpecialFormLocalSolver
+from repro.algo.upper_bound import compute_upper_bounds, smooth_upper_bounds
+from repro.core.compiled import CompiledInstance
+from repro.exceptions import NotSpecialFormError
+from repro.generators import (
+    cycle_instance,
+    objective_ring_instance,
+    random_special_form_instance,
+    regular_special_form_instance,
+    torus_instance,
+)
+from repro.transforms import to_special_form
+
+from conftest import build_general_instance
+
+TOL = 1e-9
+
+
+def special_form_cases():
+    """Seeded instances of every special-form family (id, instance)."""
+    grid = to_special_form(torus_instance(4, 3, coefficient_range=(0.5, 2.0), seed=6)).transformed
+    return [
+        ("cycle-unit", cycle_instance(8)),
+        ("cycle-random", cycle_instance(9, coefficient_range=(0.5, 2.0), seed=3)),
+        ("sf-random", random_special_form_instance(18, delta_K=3, constraint_rounds=2, seed=5)),
+        ("regular-unit", regular_special_form_instance(6, 3, constraint_rounds=2, seed=7)),
+        (
+            "regular-random",
+            regular_special_form_instance(
+                6, 3, constraint_rounds=2, coefficient_range=(0.5, 2.0), seed=8
+            ),
+        ),
+        ("ring", objective_ring_instance(5, 3)),
+        ("grid", grid),
+    ]
+
+
+CASES = special_form_cases()
+CASE_IDS = [case_id for case_id, _ in CASES]
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("case_id,instance", CASES, ids=CASE_IDS)
+    @pytest.mark.parametrize("R", [2, 3, 5])
+    def test_recursion_backend_equivalence(self, case_id, instance, R):
+        """Vectorized and reference agree on t_u, s_v, x and utility (1e-9)."""
+        ref = SpecialFormLocalSolver(R=R, backend="reference").solve(instance)
+        vec = SpecialFormLocalSolver(R=R, backend="vectorized").solve(instance)
+        assert vec.utility() == pytest.approx(ref.utility(), abs=TOL)
+        for v in instance.agents:
+            assert vec.upper_bounds[v] == pytest.approx(ref.upper_bounds[v], abs=TOL)
+            assert vec.smoothed_bounds[v] == pytest.approx(ref.smoothed_bounds[v], abs=TOL)
+            assert vec.solution[v] == pytest.approx(ref.solution[v], abs=TOL)
+
+    @pytest.mark.parametrize("case_id,instance", CASES[:4], ids=CASE_IDS[:4])
+    @pytest.mark.parametrize("R", [2, 3])
+    def test_lp_backend_equivalence(self, case_id, instance, R):
+        """The tu_method="lp" path agrees across backends too (LP tolerance)."""
+        ref = SpecialFormLocalSolver(R=R, tu_method="lp", backend="reference").solve(instance)
+        vec = SpecialFormLocalSolver(R=R, tu_method="lp", backend="vectorized").solve(instance)
+        for v in instance.agents:
+            assert vec.upper_bounds[v] == pytest.approx(ref.upper_bounds[v], abs=1e-7)
+            assert vec.solution[v] == pytest.approx(ref.solution[v], abs=1e-7)
+
+    @pytest.mark.parametrize("R", [2, 3])
+    def test_g_tables_match(self, R):
+        """The full g± tables agree entry-wise, not just their Eq. 18 sum."""
+        instance = random_special_form_instance(16, delta_K=3, constraint_rounds=2, seed=11)
+        ref = SpecialFormLocalSolver(R=R, backend="reference").solve(instance)
+        vec = SpecialFormLocalSolver(R=R, backend="vectorized").solve(instance)
+        for d in range(ref.g.r + 1):
+            for v in instance.agents:
+                assert vec.g.plus(v, d) == pytest.approx(ref.g.plus(v, d), abs=TOL)
+                assert vec.g.minus(v, d) == pytest.approx(ref.g.minus(v, d), abs=TOL)
+
+    def test_dedup_and_no_dedup_agree(self):
+        """Signature deduplication must not change any t_u."""
+        instance = cycle_instance(10, coefficient_range=(0.5, 2.0), seed=21)
+        comp = instance.compiled()
+        with_dedup = batched_upper_bounds(comp, 1, deduplicate=True)
+        without = batched_upper_bounds(comp, 1, deduplicate=False)
+        np.testing.assert_allclose(with_dedup, without, atol=0.0)
+
+
+class TestCompiledInstance:
+    def test_cached_on_instance(self):
+        instance = cycle_instance(4)
+        assert instance.compiled() is instance.compiled()
+
+    def test_csr_matches_accessors(self):
+        instance = random_special_form_instance(14, delta_K=3, constraint_rounds=2, seed=9)
+        comp = instance.compiled()
+        for idx, v in enumerate(comp.agents):
+            assert comp.capacity[idx] == instance.agent_capacity(v)
+            lo, hi = comp.con_indptr[idx], comp.con_indptr[idx + 1]
+            for e in range(lo, hi):
+                i = comp.constraints[comp.con_indices[e]]
+                assert comp.con_coeff[e] == instance.a(i, v)
+                partner = instance.other_agent(i, v)
+                assert comp.agents[comp.con_partner[e]] == partner
+                assert comp.con_partner_coeff[e] == instance.a(i, partner)
+            assert comp.objectives[comp.obj_of_agent[idx]] == instance.unique_objective(v)
+
+    def test_sibling_sums(self):
+        instance = objective_ring_instance(4, 3)
+        comp = instance.compiled()
+        values = np.arange(1.0, comp.num_agents + 1)
+        sums = comp.sibling_sums(values)
+        for idx, v in enumerate(comp.agents):
+            expected = sum(values[comp.agent_index[w]] for w in instance.objective_siblings(v))
+            assert sums[idx] == pytest.approx(expected, abs=1e-12)
+
+    def test_special_view_rejects_general_instances(self):
+        comp = CompiledInstance(build_general_instance())
+        with pytest.raises(NotSpecialFormError):
+            comp.obj_of_agent
+
+    def test_communication_graph_cached_and_copied_by_mutators(self):
+        instance = cycle_instance(4)
+        g = instance.communication_graph()
+        assert instance.communication_graph() is g
+        # Read-only callers keep working against the cached object.
+        assert instance.is_connected()
+
+
+class TestBatchedTrees:
+    @pytest.mark.parametrize("r", [0, 1, 2])
+    def test_tree_sizes_match_reference(self, r):
+        """The flat layout enumerates exactly the agent nodes of every A_u."""
+        from repro._types import NodeType
+        from repro.algo.alternating_tree import build_alternating_tree
+
+        instance = random_special_form_instance(12, delta_K=3, constraint_rounds=2, seed=4)
+        comp = instance.compiled()
+        bt = build_batched_trees(comp, r)
+        for t, v in enumerate(comp.agents):
+            tree = build_alternating_tree(instance, v, r, validate=False)
+            expected = sum(1 for node in tree.nodes if node.kind is NodeType.AGENT)
+            actual = sum(
+                int(level.root_indptr[t + 1] - level.root_indptr[t]) for level in bt.levels
+            )
+            assert actual == expected
+
+    def test_symmetric_family_collapses(self):
+        """On the unit cycle every alternating tree has the same signature."""
+        comp = cycle_instance(12).compiled()
+        bt = build_batched_trees(comp, 1)
+        assert len(set(bt.signatures())) == 1
+
+
+class TestSmoothingKernels:
+    @pytest.mark.parametrize("r", [0, 1, 2])
+    def test_matches_bfs_smoothing(self, r):
+        instance = random_special_form_instance(15, delta_K=3, constraint_rounds=2, seed=13)
+        comp = instance.compiled()
+        rng = np.random.default_rng(0)
+        t_values = rng.uniform(0.5, 3.0, comp.num_agents)
+        bounds = dict(zip(comp.agents, t_values.tolist()))
+        expected = smooth_upper_bounds(instance, bounds, r)
+        smoothed = smooth_bounds_kernel(comp, t_values, r)
+        for idx, v in enumerate(comp.agents):
+            assert smoothed[idx] == pytest.approx(expected[v], abs=0.0)
+
+    def test_smooth_upper_bounds_skips_agents_without_bound(self):
+        """Regression: an agents= subset used to KeyError inside the ball."""
+        instance = cycle_instance(6, coefficient_range=(0.5, 2.0), seed=17)
+        subset = list(instance.agents)[:3]
+        partial = compute_upper_bounds(instance, 1, agents=subset)
+        smoothed = smooth_upper_bounds(instance, partial, 1)
+        assert set(smoothed) == set(instance.agents)
+        for v in subset:
+            assert smoothed[v] <= partial[v] + 1e-12
+
+    def test_smooth_upper_bounds_empty_bounds_is_inf(self):
+        import math
+
+        instance = cycle_instance(4)
+        smoothed = smooth_upper_bounds(instance, {}, 1)
+        assert all(math.isinf(s) for s in smoothed.values())
+
+
+class TestKernelPieces:
+    def test_g_recursion_and_output_match_reference_methods(self):
+        instance = regular_special_form_instance(4, 3, constraint_rounds=2, seed=19)
+        comp = instance.compiled()
+        solver = SpecialFormLocalSolver(R=4, backend="reference")
+        t = compute_upper_bounds(instance, solver.r)
+        s = smooth_upper_bounds(instance, t, solver.r)
+        g_ref = solver.compute_g_recursion(instance, s)
+        s_vec = np.asarray([s[v] for v in comp.agents])
+        g_plus, g_minus = g_recursion_kernel(comp, s_vec, solver.r)
+        for d in range(solver.r + 1):
+            for idx, v in enumerate(comp.agents):
+                assert g_plus[d][idx] == pytest.approx(g_ref.plus(v, d), abs=TOL)
+                assert g_minus[d][idx] == pytest.approx(g_ref.minus(v, d), abs=TOL)
+        x = output_kernel(g_plus, g_minus, solver.R)
+        x_ref = solver.output_vector(instance, g_ref)
+        for idx, v in enumerate(comp.agents):
+            assert x[idx] == pytest.approx(x_ref[v], abs=TOL)
+
+    def test_targets_subset(self):
+        instance = random_special_form_instance(12, delta_K=3, constraint_rounds=2, seed=23)
+        comp = instance.compiled()
+        full = batched_upper_bounds(comp, 1)
+        subset = np.asarray([0, 5, 7], dtype=np.int64)
+        partial = batched_upper_bounds(comp, 1, targets=subset)
+        np.testing.assert_allclose(partial, full[subset], atol=0.0)
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            SpecialFormLocalSolver(R=3, backend="numpy")
+        with pytest.raises(ValueError):
+            batched_upper_bounds(cycle_instance(4).compiled(), 1, method="nope")
