@@ -5,6 +5,11 @@ rounds (Θ(R)), independent of the number of nodes; per-node work and
 messages are constant, so total work scales linearly.  This benchmark runs
 the actual message-passing protocol on growing cycles and sensor networks
 and reports rounds, messages and messages per node.
+
+The protocol runs on the vectorized message plane by default (see
+``bench_safe_e5.py`` for the backend speedup trajectory); the measurements
+are backend-independent — the dict-based oracle produces identical per-round
+message statistics, which one row here re-checks explicitly.
 """
 
 from __future__ import annotations
@@ -20,8 +25,8 @@ from repro.generators import sensor_network_instance
 from _harness import emit_table
 
 
-def _cycle_rows(R: int = 3):
-    solver = DistributedLocalSolver(R=R)
+def _cycle_rows(R: int = 3, backend: str = "vectorized"):
+    solver = DistributedLocalSolver(R=R, backend=backend)
     rows = []
     for segments in (8, 16, 32, 64):
         instance = cycle_instance(segments, coefficient_range=(0.5, 2.0), seed=segments)
@@ -95,6 +100,12 @@ def test_e5_scaling(benchmark):
     per_node = [row["messages_per_node"] for row in cycle_rows]
     assert max(per_node) <= min(per_node) * 1.05
     assert all(row["feasible"] for row in rows)
+
+    # Backend independence: the dict-based oracle reports the same statistics.
+    oracle_rows = _cycle_rows(backend="reference")
+    assert [(r["rounds"], r["messages"]) for r in oracle_rows] == [
+        (r["rounds"], r["messages"]) for r in cycle_rows
+    ]
 
     # Baseline context: the safe protocol is 2 rounds.
     _solution, safe_run = DistributedSafeSolver().solve(cycle_instance(16))

@@ -17,12 +17,21 @@ The algorithm is "local" in the strongest possible sense: one communication
 round suffices (each agent only needs the degrees and coefficients of its
 own constraints).  The paper's contribution is beating this ``ΔI`` factor
 down to ``ΔI (1 − 1/ΔK) + ε``; experiment E4 measures the gap.
+
+Like the §5 solver, the baseline has two backends: ``"vectorized"``
+(default) evaluates the safe share as one segmented min over the compiled
+CSR arrays (:class:`~repro.core.compiled.CompiledInstance`), ``"reference"``
+keeps the per-node dict traversal as the readable oracle.  Both compute
+``1/(λ_i a_iv)`` edge by edge and take the same min, so they agree exactly
+(not merely to tolerance).
 """
 
 from __future__ import annotations
 
 import math
 from typing import Dict
+
+import numpy as np
 
 from .._types import NodeId
 from ..core.instance import MaxMinInstance
@@ -33,11 +42,14 @@ from .certificates import Certificate
 
 __all__ = ["SafeAlgorithm", "safe_solution"]
 
+_BACKENDS = ("vectorized", "reference")
+
 
 def safe_solution(
     instance: MaxMinInstance,
     variant: str = "degree",
     delta_I: int = 0,
+    backend: str = "vectorized",
 ) -> Solution:
     """Compute the safe-algorithm solution of a non-degenerate instance.
 
@@ -52,12 +64,39 @@ def safe_solution(
         conservative, exactly the form used in the prior-work analysis).
     delta_I:
         Override for ``ΔI`` in the ``"delta"`` variant (default: the
-        instance's own maximum constraint degree).
+        instance's own maximum constraint degree).  Passing it with any
+        other variant raises :class:`ValueError` — it would otherwise be
+        silently ignored.
+    backend:
+        ``"vectorized"`` (one segment-min over the compiled CSR arrays,
+        default) or ``"reference"`` (per-node dict traversal, the oracle).
     """
     if variant not in ("degree", "delta"):
         raise ValueError(f"unknown safe-algorithm variant {variant!r}")
+    if backend not in _BACKENDS:
+        raise ValueError(f"unknown backend {backend!r} (expected 'vectorized' or 'reference')")
+    if delta_I and variant != "delta":
+        raise ValueError(
+            f"delta_I={delta_I} is only meaningful with variant='delta' "
+            f"(got variant={variant!r}); it would be silently ignored"
+        )
     if variant == "delta":
         divisor_global = delta_I if delta_I > 0 else max(instance.delta_I, 1)
+
+    if backend == "vectorized":
+        comp = instance.compiled()
+        if variant == "degree":
+            divisors = comp.constraint_degrees[comp.con_indices].astype(np.float64)
+        else:
+            divisors = float(divisor_global)
+        x = comp.agent_constraint_min(1.0 / (divisors * comp.con_coeff))
+        unconstrained = np.isinf(x)
+        if unconstrained.any():
+            v = comp.agents[int(np.argmax(unconstrained))]
+            raise InvalidInstanceError(
+                f"agent {v!r} has no constraints; preprocess the instance before the safe algorithm"
+            )
+        return Solution.from_agent_array(instance, x.tolist(), label=f"safe-{variant}")
 
     values: Dict[NodeId, float] = {}
     for v in instance.agents:
@@ -81,10 +120,13 @@ def safe_solution(
 class SafeAlgorithm:
     """Object-style wrapper around :func:`safe_solution` with certificates."""
 
-    def __init__(self, variant: str = "degree") -> None:
+    def __init__(self, variant: str = "degree", *, backend: str = "vectorized") -> None:
         if variant not in ("degree", "delta"):
             raise ValueError(f"unknown safe-algorithm variant {variant!r}")
+        if backend not in _BACKENDS:
+            raise ValueError(f"unknown backend {backend!r} (expected 'vectorized' or 'reference')")
         self.variant = variant
+        self.backend = backend
 
     @property
     def name(self) -> str:
@@ -99,7 +141,7 @@ class SafeAlgorithm:
         pre = preprocess(instance)
         if pre.optimum_is_zero or pre.instance.num_agents == 0:
             return pre.zero_solution(label=self.name)
-        inner = safe_solution(pre.instance, variant=self.variant)
+        inner = safe_solution(pre.instance, variant=self.variant, backend=self.backend)
         if pre.changed:
             return pre.lift(inner, label=self.name)
         return Solution(instance, inner.as_dict(), label=self.name)
@@ -111,9 +153,9 @@ class SafeAlgorithm:
             guaranteed_ratio=self.guaranteed_ratio(instance),
             delta_I=instance.delta_I,
             delta_K=instance.delta_K,
-            parameters={"variant": self.variant},
+            parameters={"variant": self.variant, "backend": self.backend},
         )
         return solution, certificate
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"SafeAlgorithm(variant={self.variant!r})"
+        return f"SafeAlgorithm(variant={self.variant!r}, backend={self.backend!r})"

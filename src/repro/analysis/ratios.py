@@ -94,10 +94,13 @@ def evaluate_local_algorithm(
 
 
 def evaluate_safe_algorithm(
-    instance: MaxMinInstance, *, optimum: Optional[float] = None
+    instance: MaxMinInstance,
+    *,
+    backend: str = "vectorized",
+    optimum: Optional[float] = None,
 ) -> Dict[str, object]:
     """Run the safe baseline once and return its record."""
-    safe = SafeAlgorithm()
+    safe = SafeAlgorithm(backend=backend)
     solution, certificate = safe.solve_with_certificate(instance)
     return evaluate_solution(
         instance,
@@ -129,6 +132,7 @@ def compare_algorithms(
     include_optimum_row: bool = False,
     tu_method: str = "recursion",
     backend: str = "vectorized",
+    safe_backend: str = "vectorized",
 ) -> List[Dict[str, object]]:
     """Run the local algorithm (for each R) and the safe baseline on one instance."""
     lp = solve_maxmin_lp(instance)
@@ -142,7 +146,9 @@ def compare_algorithms(
         )
 
     if include_safe:
-        records.append(evaluate_safe_algorithm(instance, optimum=lp.optimum))
+        records.append(
+            evaluate_safe_algorithm(instance, backend=safe_backend, optimum=lp.optimum)
+        )
 
     if include_optimum_row:
         records.append(evaluate_lp_optimum(instance, lp=lp))

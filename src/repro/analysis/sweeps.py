@@ -34,6 +34,7 @@ def run_ratio_sweep(
     include_safe: bool = True,
     tu_method: str = "recursion",
     backend: str = "vectorized",
+    safe_backend: str = "vectorized",
     extra_fields: Optional[Mapping[str, Callable[[MaxMinInstance], object]]] = None,
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
@@ -54,6 +55,8 @@ def run_ratio_sweep(
     backend:
         ``"vectorized"`` (compiled CSR kernels, default) or ``"reference"``
         (per-node object traversal) for the local solver.
+    safe_backend:
+        Same knob for the safe baseline (CSR segment-min vs per-node dicts).
     extra_fields:
         Optional ``column -> f(instance)`` callables whose values are added
         to every record of that instance (e.g. a family label or a size
@@ -76,6 +79,7 @@ def run_ratio_sweep(
         include_safe=include_safe,
         tu_method=tu_method,
         backend=backend,
+        safe_backend=safe_backend,
         extra_fields=extra_fields,
         jobs=jobs,
         cache_dir=cache_dir,
@@ -91,6 +95,7 @@ def run_ratio_sweep_batch(
     include_safe: bool = True,
     tu_method: str = "recursion",
     backend: str = "vectorized",
+    safe_backend: str = "vectorized",
     extra_fields: Optional[Mapping[str, Callable[[MaxMinInstance], object]]] = None,
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
@@ -112,6 +117,7 @@ def run_ratio_sweep_batch(
         include_safe=include_safe,
         tu_method=tu_method,
         backend=backend,
+        safe_backend=safe_backend,
     )
     result = run_batch(batch, executor=executor, jobs=jobs, cache_dir=cache_dir)
 

@@ -76,6 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument("--output", help="write the solution to this JSON path")
     solve.add_argument("--with-safe", action="store_true", help="also run the safe baseline")
+    solve.add_argument(
+        "--safe-backend",
+        choices=["vectorized", "reference"],
+        default="vectorized",
+        help="safe-baseline backend (CSR segment-min vs per-node dicts)",
+    )
     solve.add_argument("--with-optimum", action="store_true", help="also solve the exact LP")
 
     compare = sub.add_parser("compare", help="compare R values and baselines on an instance")
@@ -112,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["vectorized", "reference"],
         default="vectorized",
         help="local-solver backend (compiled CSR kernels vs per-node reference)",
+    )
+    sweep.add_argument(
+        "--safe-backend",
+        choices=["vectorized", "reference"],
+        default="vectorized",
+        help="safe-baseline backend (CSR segment-min vs per-node dicts)",
     )
     sweep.add_argument(
         "--full-table", action="store_true", help="print every record, not just the summary"
@@ -162,6 +174,7 @@ def _sweep(args: argparse.Namespace) -> int:
         include_safe=not args.no_safe,
         tu_method=args.tu_method,
         backend=args.backend,
+        safe_backend=args.safe_backend,
         extra_fields={
             "family": lambda inst: args.family,
             "size": lambda inst: sizes_by_id[id(inst)],
@@ -207,7 +220,7 @@ def _solve(args: argparse.Namespace) -> int:
         }
     ]
     if args.with_safe:
-        safe = SafeAlgorithm()
+        safe = SafeAlgorithm(backend=args.safe_backend)
         solution, certificate = safe.solve_with_certificate(instance)
         rows.append(
             {

@@ -189,6 +189,8 @@ class CompiledInstance:
         "oagents_coeff",
         "capacity",
         "_special",
+        "_constraint_degrees",
+        "_objective_degrees",
     )
 
     def __init__(self, instance: "MaxMinInstance") -> None:
@@ -221,14 +223,11 @@ class CompiledInstance:
             lambda k, v: instance.c(k, v),
         )
 
-        n = len(self.agents)
-        self.capacity = np.full(n, np.inf, dtype=np.float64)
-        if len(self.con_coeff):
-            nonempty = np.flatnonzero(np.diff(self.con_indptr) > 0)
-            inv = 1.0 / self.con_coeff
-            self.capacity[nonempty] = np.minimum.reduceat(inv, self.con_indptr[nonempty])
+        self.capacity = self.agent_constraint_min(1.0 / self.con_coeff)
 
         self._special = None
+        self._constraint_degrees = None
+        self._objective_degrees = None
 
     # ------------------------------------------------------------------
     @property
@@ -242,6 +241,37 @@ class CompiledInstance:
     @property
     def num_objectives(self) -> int:
         return len(self.objectives)
+
+    # ------------------------------------------------------------------
+    # Degree views (any instance)
+    # ------------------------------------------------------------------
+    @property
+    def constraint_degrees(self) -> np.ndarray:
+        """``|V_i|`` per constraint position — the safe baseline's divisor."""
+        if self._constraint_degrees is None:
+            self._constraint_degrees = np.diff(self.cagents_indptr)
+        return self._constraint_degrees
+
+    @property
+    def objective_degrees(self) -> np.ndarray:
+        """``|V_k|`` per objective position."""
+        if self._objective_degrees is None:
+            self._objective_degrees = np.diff(self.oagents_indptr)
+        return self._objective_degrees
+
+    def agent_constraint_min(self, edge_values: np.ndarray) -> np.ndarray:
+        """``min_{i ∈ I_v} edge_values[e]`` per agent over its constraint edges.
+
+        ``edge_values`` is aligned with ``con_indices`` (one value per
+        agent–constraint edge).  Agents without constraints get ``inf`` — the
+        same convention as :attr:`capacity` (which equals
+        ``agent_constraint_min(1 / con_coeff)``).
+        """
+        out = np.full(self.num_agents, np.inf, dtype=np.float64)
+        if len(edge_values):
+            nonempty = np.flatnonzero(np.diff(self.con_indptr) > 0)
+            out[nonempty] = np.minimum.reduceat(edge_values, self.con_indptr[nonempty])
+        return out
 
     # ------------------------------------------------------------------
     # Special-form view

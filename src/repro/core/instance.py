@@ -277,6 +277,11 @@ class MaxMinInstance:
         """Total number of edges of the communication graph."""
         return len(self._a) + len(self._c)
 
+    @property
+    def agent_set(self) -> "frozenset[NodeId]":
+        """The agents as a frozenset (for C-speed membership batch checks)."""
+        return self._agent_set
+
     def has_agent(self, v: NodeId) -> bool:
         return v in self._agent_set
 

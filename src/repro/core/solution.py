@@ -76,6 +76,13 @@ class Solution:
         unknown agents raise :class:`InvalidInstanceError`.
     label:
         Optional provenance label (e.g. ``"local-R3"``, ``"lp-optimum"``).
+    require_complete:
+        If true, ``values`` must cover *every* agent of the instance;
+        missing agents raise :class:`InvalidInstanceError` instead of being
+        backfilled with 0.0.  Algorithms that are supposed to produce a
+        value for each agent (e.g. the distributed protocol solvers) pass
+        this so a silently broken run cannot masquerade as a feasible
+        all-zero solution.
     """
 
     __slots__ = ("instance", "_values", "label")
@@ -85,17 +92,49 @@ class Solution:
         instance: MaxMinInstance,
         values: Mapping[NodeId, float],
         label: str = "solution",
+        *,
+        require_complete: bool = False,
     ) -> None:
         self.instance = instance
         self.label = label
-        vals: Dict[NodeId, float] = {}
-        for v, x in values.items():
-            if not instance.has_agent(v):
-                raise InvalidInstanceError(f"solution refers to unknown agent {v!r}")
-            vals[v] = float(x)
-        for v in instance.agents:
-            vals.setdefault(v, 0.0)
+        vals: Dict[NodeId, float] = {v: float(x) for v, x in values.items()}
+        if vals and not instance.agent_set.issuperset(vals):
+            unknown = next(v for v in vals if not instance.has_agent(v))
+            raise InvalidInstanceError(f"solution refers to unknown agent {unknown!r}")
+        if len(vals) < instance.num_agents:
+            if require_complete:
+                missing = [v for v in instance.agents if v not in vals]
+                raise InvalidInstanceError(
+                    f"solution {label!r} is missing values for {len(missing)} agent(s) "
+                    f"(first few: {missing[:5]!r}) and require_complete=True"
+                )
+            for v in instance.agents:
+                vals.setdefault(v, 0.0)
         self._values = vals
+
+    @classmethod
+    def from_agent_array(
+        cls, instance: MaxMinInstance, values: Iterable[float], label: str = "solution"
+    ) -> "Solution":
+        """Trusted fast path for compiled backends.
+
+        ``values`` must hold one value per agent in the instance's canonical
+        agent order (e.g. an output vector of the CSR kernels, via
+        ``.tolist()``).  Skips the per-item membership validation of the
+        regular constructor — alignment is guaranteed by construction on the
+        compiled paths — but still verifies the length.
+        """
+        floats = [float(x) for x in values]
+        if len(floats) != instance.num_agents:
+            raise InvalidInstanceError(
+                f"solution {label!r} got {len(floats)} values for "
+                f"{instance.num_agents} agents"
+            )
+        solution = cls.__new__(cls)
+        solution.instance = instance
+        solution.label = label
+        solution._values = dict(zip(instance.agents, floats))
+        return solution
 
     # ------------------------------------------------------------------
     # Value access

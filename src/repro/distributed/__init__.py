@@ -13,16 +13,18 @@ from .agents import (
     MaxMinConstraintNode,
     MaxMinObjectiveNode,
     PhaseSchedule,
+    VectorizedMaxMinProtocol,
     maxmin_node_factory,
 )
+from .plane import MessagePlane, VectorizedProtocol
 from .dynamics import ChangeImpact, changed_sites, local_horizon_radius, measure_change_impact
 from .local_view import ViewTree, view_feasible_omega, view_tree_optimum
 from .message import Message, message_size_bytes
 from .network import CommunicationNetwork, build_network
 from .node import LocalInput, ProtocolNode
 from .port_numbering import PortNumbering
-from .runtime import RoundStatistics, RunResult, SynchronousRuntime
-from .safe_agents import DistributedSafeSolver, SAFE_ALGORITHM_ROUNDS
+from .runtime import RoundStatistics, RunResult, SynchronousRuntime, require_agent_outputs
+from .safe_agents import DistributedSafeSolver, SAFE_ALGORITHM_ROUNDS, VectorizedSafeProtocol
 
 __all__ = [
     "Message",
@@ -32,9 +34,14 @@ __all__ = [
     "ProtocolNode",
     "CommunicationNetwork",
     "build_network",
+    "MessagePlane",
+    "VectorizedProtocol",
+    "VectorizedSafeProtocol",
+    "VectorizedMaxMinProtocol",
     "SynchronousRuntime",
     "RunResult",
     "RoundStatistics",
+    "require_agent_outputs",
     "ViewTree",
     "view_tree_optimum",
     "view_feasible_omega",

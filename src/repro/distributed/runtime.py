@@ -6,25 +6,54 @@ into the receiver's port), and hands each node its inbox at the start of the
 next round.  It also keeps the accounting that the scalability experiment
 (E5) reports: rounds, messages, and (optionally) bytes.
 
-The runtime is deliberately single-threaded and deterministic — the point of
-simulating a distributed algorithm for a *theory* reproduction is fidelity
-and reproducibility, not wall-clock parallel speed.
+Two execution paths share the accounting:
+
+* :meth:`SynchronousRuntime.run` — the original per-node dict walk.  It is
+  deliberately single-threaded and deterministic — the point of simulating a
+  distributed algorithm for a *theory* reproduction is fidelity and
+  reproducibility — and is kept as the oracle the vectorized path is tested
+  against.
+* :meth:`SynchronousRuntime.run_vectorized` — the same clock driven over an
+  int-indexed :class:`~repro.distributed.plane.MessagePlane`: one
+  :meth:`~repro.distributed.plane.VectorizedProtocol.compose` call per round
+  for the whole network, delivery as a single gather through the plane's
+  ``reverse`` permutation.  Per-round message statistics are computed from
+  the same sent-slot sets the dict path would produce, so E5-style
+  measurements are backend-independent.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
-from .._types import GraphNode, NodeType
+import numpy as np
+
+from .._types import GraphNode, NodeType, agent_node
 from ..exceptions import SimulationError
 from .message import Message, message_size_bytes
 from .network import CommunicationNetwork
 from .node import ProtocolNode
+from .plane import MessagePlane, VectorizedProtocol
 
-__all__ = ["RoundStatistics", "RunResult", "SynchronousRuntime"]
+__all__ = ["RoundStatistics", "RunResult", "SynchronousRuntime", "require_agent_outputs"]
 
 #: A factory mapping (graph_node, local_input) to a ProtocolNode.
 NodeFactory = Callable[[CommunicationNetwork, GraphNode], ProtocolNode]
+
+
+def require_agent_outputs(instance, result: "RunResult") -> None:
+    """Raise :class:`SimulationError` unless every agent produced an output.
+
+    Shared by the protocol solvers: an agent that stays silent is a protocol
+    bug, and backfilling 0.0 for it would turn a broken run into a "feasible"
+    all-wrong solution.
+    """
+    missing = [v for v in instance.agents if v not in result.outputs]
+    if missing:
+        raise SimulationError(
+            f"protocol finished with {len(missing)} agent(s) producing no "
+            f"output (first few: {missing[:5]!r}); refusing to backfill zeros"
+        )
 
 
 class RoundStatistics:
@@ -58,7 +87,8 @@ class RunResult:
     per_round:
         List of :class:`RoundStatistics`.
     node_outputs:
-        Raw outputs per graph node (including Nones from relays).
+        Raw outputs per graph node (including Nones from relays; the
+        vectorized path only materialises agent entries).
     """
 
     __slots__ = ("outputs", "rounds", "total_messages", "total_bytes", "per_round", "node_outputs")
@@ -91,21 +121,46 @@ class RunResult:
 
 
 class SynchronousRuntime:
-    """Drives a protocol over a :class:`CommunicationNetwork`.
+    """Drives a protocol over a :class:`CommunicationNetwork` or a plane.
 
     Parameters
     ----------
     network:
-        The communication network to run on.
+        The communication network to run on (required for :meth:`run`;
+        optional when only :meth:`run_vectorized` is used with an explicit
+        ``plane``).
+    plane:
+        An explicit :class:`~repro.distributed.plane.MessagePlane` for the
+        vectorized path; built lazily from ``network.instance`` when absent.
+        Passing the plane directly lets vectorized solvers skip building the
+        per-node ``LocalInput`` dicts entirely.
     measure_bytes:
         If true, every message is pickled once to estimate bandwidth; this is
         meaningful but slow for view-gathering protocols, so it is off by
-        default.
+        default.  Byte accounting needs real message objects, so it is only
+        available on the dict path (:meth:`run_vectorized` raises).
     """
 
-    def __init__(self, network: CommunicationNetwork, *, measure_bytes: bool = False) -> None:
+    def __init__(
+        self,
+        network: Optional[CommunicationNetwork] = None,
+        *,
+        plane: Optional[MessagePlane] = None,
+        measure_bytes: bool = False,
+    ) -> None:
+        if network is None and plane is None:
+            raise SimulationError("SynchronousRuntime needs a network or a message plane")
         self.network = network
+        self._plane = plane
         self.measure_bytes = measure_bytes
+
+    @property
+    def plane(self) -> MessagePlane:
+        """The message plane (built from the network's instance on demand)."""
+        if self._plane is None:
+            assert self.network is not None  # __init__ invariant
+            self._plane = MessagePlane(self.network.instance)
+        return self._plane
 
     def run(
         self,
@@ -114,7 +169,7 @@ class SynchronousRuntime:
         *,
         stop_when_silent: bool = False,
     ) -> RunResult:
-        """Execute ``rounds`` synchronous rounds of the protocol.
+        """Execute ``rounds`` synchronous rounds of the protocol (dict path).
 
         Parameters
         ----------
@@ -127,6 +182,8 @@ class SynchronousRuntime:
             protocols that finish before their declared horizon).
         """
         network = self.network
+        if network is None:
+            raise SimulationError("the dict-based run() needs a CommunicationNetwork")
         nodes: Dict[GraphNode, ProtocolNode] = {
             node: node_factory(network, node) for node in network.nodes()
         }
@@ -187,6 +244,71 @@ class SynchronousRuntime:
             rounds=executed,
             total_messages=total_messages,
             total_bytes=total_bytes,
+            per_round=per_round,
+            node_outputs=node_outputs,
+        )
+
+    def run_vectorized(
+        self,
+        protocol: VectorizedProtocol,
+        rounds: int,
+        *,
+        stop_when_silent: bool = False,
+    ) -> RunResult:
+        """Execute ``rounds`` synchronous rounds on the int-indexed plane.
+
+        The clock is identical to :meth:`run`: each round the protocol
+        composes the whole network's outgoing messages (slot mask + values),
+        the runtime delivers them through the plane's ``reverse`` permutation
+        and records the round's message count, and the delivered slots become
+        the next round's inbox.
+        """
+        if self.measure_bytes:
+            raise SimulationError(
+                "byte accounting requires real message objects; use the dict-based "
+                "run() (reference backend) when measure_bytes=True"
+            )
+        plane = self.plane
+        inbox_mask, inbox_values = plane.empty_round()
+        protocol.begin(plane)
+
+        per_round: List[RoundStatistics] = []
+        total_messages = 0
+        executed = 0
+
+        for round_number in range(1, rounds + 1):
+            executed = round_number
+            out_mask, out_values = protocol.compose(
+                round_number, inbox_mask, inbox_values, plane
+            )
+            sent = np.flatnonzero(out_mask)
+            round_messages = len(sent)
+
+            inbox_mask, inbox_values = plane.empty_round()
+            received = plane.reverse[sent]
+            inbox_mask[received] = True
+            inbox_values[received] = out_values[sent]
+
+            total_messages += round_messages
+            per_round.append(RoundStatistics(round_number, round_messages, 0))
+
+            if stop_when_silent and round_messages == 0:
+                break
+
+        values = protocol.outputs(plane)
+        node_outputs: Dict[GraphNode, Any] = {}
+        outputs: Dict[Any, float] = {}
+        for position, v in enumerate(plane.comp.agents):
+            value = float(values[position])
+            node_outputs[agent_node(v)] = None if np.isnan(values[position]) else value
+            if not np.isnan(values[position]):
+                outputs[v] = value
+
+        return RunResult(
+            outputs=outputs,
+            rounds=executed,
+            total_messages=total_messages,
+            total_bytes=0,
             per_round=per_round,
             node_outputs=node_outputs,
         )

@@ -8,12 +8,19 @@ constraint tells its members its degree ``|V_i|``, and every agent outputs
 Two synchronous rounds therefore suffice — the protocol is mostly useful as
 the baseline for the round/message accounting of experiment E5 and as the
 simplest possible example of a protocol on the runtime.
+
+Both runtime backends are implemented: the per-node classes below run on the
+dict-based oracle, and :class:`VectorizedSafeProtocol` runs the identical
+exchange on the int-indexed message plane (degrees go out as one
+``np.repeat``, the safe share comes back as one segment-min).
 """
 
 from __future__ import annotations
 
 import math
 from typing import Dict, Optional, Tuple
+
+import numpy as np
 
 from .._types import NodeType
 from ..core.instance import MaxMinInstance
@@ -23,9 +30,16 @@ from ..exceptions import SimulationError
 from .message import Message
 from .network import CommunicationNetwork, build_network
 from .node import LocalInput, ProtocolNode
-from .runtime import RunResult, SynchronousRuntime
+from .plane import MessagePlane, VectorizedProtocol
+from .runtime import RunResult, SynchronousRuntime, require_agent_outputs
 
-__all__ = ["SafeAgentNode", "SafeConstraintNode", "SafeSilentNode", "DistributedSafeSolver"]
+__all__ = [
+    "SafeAgentNode",
+    "SafeConstraintNode",
+    "SafeSilentNode",
+    "VectorizedSafeProtocol",
+    "DistributedSafeSolver",
+]
 
 #: The safe protocol's local horizon.
 SAFE_ALGORITHM_ROUNDS = 2
@@ -70,6 +84,40 @@ class SafeAgentNode(ProtocolNode):
         return self._output
 
 
+class VectorizedSafeProtocol(VectorizedProtocol):
+    """The same two-round exchange as whole-plane array operations."""
+
+    def begin(self, plane: MessagePlane) -> None:
+        self._x: Optional[np.ndarray] = None
+
+    def compose(
+        self,
+        round_number: int,
+        inbox_mask: np.ndarray,
+        inbox_values: np.ndarray,
+        plane: MessagePlane,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        comp = plane.comp
+        mask, values = plane.empty_round()
+        if round_number == 1:
+            # Every constraint broadcasts its degree on all its ports.
+            lo, hi = plane.con_slot_range()
+            mask[lo:hi] = True
+            degrees = comp.constraint_degrees
+            values[lo:hi] = np.repeat(degrees, degrees).astype(np.float64)
+        elif round_number == 2:
+            received = inbox_values[plane.agent_con_slots]
+            if not inbox_mask[plane.agent_con_slots].all():
+                raise SimulationError("safe agent did not receive a constraint degree")
+            self._x = comp.agent_constraint_min(1.0 / (received * comp.con_coeff))
+        return mask, values
+
+    def outputs(self, plane: MessagePlane) -> np.ndarray:
+        if self._x is None:
+            return np.full(plane.num_agents, np.nan)
+        return self._x
+
+
 def _safe_node_factory(network: CommunicationNetwork, graph_node) -> ProtocolNode:
     local_input = network.local_input(graph_node)
     if local_input.kind is NodeType.AGENT:
@@ -80,9 +128,21 @@ def _safe_node_factory(network: CommunicationNetwork, graph_node) -> ProtocolNod
 
 
 class DistributedSafeSolver:
-    """Run the safe algorithm as a 2-round message-passing protocol."""
+    """Run the safe algorithm as a 2-round message-passing protocol.
 
-    def __init__(self, *, measure_bytes: bool = False) -> None:
+    Parameters
+    ----------
+    backend:
+        ``"vectorized"`` (default) drives the protocol over the int-indexed
+        message plane; ``"reference"`` walks the per-node dicts.  Byte
+        accounting needs real message objects, so ``measure_bytes=True``
+        always takes the reference path.
+    """
+
+    def __init__(self, *, backend: str = "vectorized", measure_bytes: bool = False) -> None:
+        if backend not in ("vectorized", "reference"):
+            raise ValueError(f"unknown backend {backend!r} (expected 'vectorized' or 'reference')")
+        self.backend = backend
         self.measure_bytes = measure_bytes
 
     @property
@@ -91,11 +151,16 @@ class DistributedSafeSolver:
 
     def solve(self, instance: MaxMinInstance) -> Tuple[Solution, RunResult]:
         require_nondegenerate(instance)
-        network = build_network(instance)
-        runtime = SynchronousRuntime(network, measure_bytes=self.measure_bytes)
-        result = runtime.run(_safe_node_factory, rounds=SAFE_ALGORITHM_ROUNDS)
+        if self.backend == "vectorized" and not self.measure_bytes:
+            runtime = SynchronousRuntime(plane=MessagePlane(instance))
+            result = runtime.run_vectorized(VectorizedSafeProtocol(), rounds=SAFE_ALGORITHM_ROUNDS)
+        else:
+            network = build_network(instance)
+            runtime = SynchronousRuntime(network, measure_bytes=self.measure_bytes)
+            result = runtime.run(_safe_node_factory, rounds=SAFE_ALGORITHM_ROUNDS)
+        require_agent_outputs(instance, result)
         solution = Solution(instance, result.outputs, label="distributed-safe")
         return solution, result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return "DistributedSafeSolver()"
+        return f"DistributedSafeSolver(backend={self.backend!r})"

@@ -118,6 +118,7 @@ def ratio_sweep_batch(
     include_optimum: bool = False,
     tu_method: str = "recursion",
     backend: str = "vectorized",
+    safe_backend: str = "vectorized",
 ) -> BatchSpec:
     """Build the batch equivalent of :func:`repro.analysis.sweeps.run_ratio_sweep`.
 
@@ -136,6 +137,7 @@ def ratio_sweep_batch(
                 include_optimum=include_optimum,
                 tu_method=tu_method,
                 backend=backend,
+                safe_backend=safe_backend,
             ),
             owner=index,
         )

@@ -129,6 +129,7 @@ def make_jobs_for_instance(
     include_optimum: bool = False,
     tu_method: str = "recursion",
     backend: str = "vectorized",
+    safe_backend: str = "vectorized",
 ) -> List[JobSpec]:
     """The standard job slate for one instance, in canonical record order.
 
@@ -153,7 +154,14 @@ def make_jobs_for_instance(
             )
         )
     if include_safe:
-        jobs.append(JobSpec(instance_json=text, instance_digest=digest, algorithm="safe"))
+        jobs.append(
+            JobSpec(
+                instance_json=text,
+                instance_digest=digest,
+                algorithm="safe",
+                params=_canonical_params({"backend": safe_backend}),
+            )
+        )
     if include_optimum:
         jobs.append(JobSpec(instance_json=text, instance_digest=digest, algorithm="lp-optimum"))
     return jobs

@@ -44,9 +44,12 @@ __all__ = ["SOLVER_VERSIONS", "solver_version", "execute_job"]
 #: ``local`` is at "2" since the vectorized backend became the default (its
 #: output agrees with the reference only to within bisection tolerance, so
 #: version-"1" cache entries are stale by the letter of the contract).
+#: ``safe`` is at "2" since it gained the ``backend`` job parameter: the two
+#: backends agree exactly, but version-"1" entries were recorded without the
+#: parameter and would alias both backends under one key.
 SOLVER_VERSIONS: Dict[str, str] = {
     "local": "2",
-    "safe": "1",
+    "safe": "2",
     "lp-optimum": "1",
 }
 
@@ -85,7 +88,8 @@ def execute_job(spec: JobSpec) -> List[Record]:
         ]
 
     if spec.algorithm == "safe":
-        return [evaluate_safe_algorithm(instance, optimum=lp.optimum)]
+        backend = str(params.get("backend", "vectorized"))
+        return [evaluate_safe_algorithm(instance, backend=backend, optimum=lp.optimum)]
 
     if spec.algorithm == "lp-optimum":
         return [evaluate_lp_optimum(instance, lp=lp)]

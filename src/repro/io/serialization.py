@@ -2,10 +2,16 @@
 
 Node identifiers may be arbitrary hashables inside the library (the
 transformation pipeline, for example, creates tuple-shaped ids); on disk we
-store a *string* form plus enough structure to round-trip the common cases
-(strings, integers, tuples of those).  Instances written by this module can
-be re-read by it; instances whose ids use exotic Python objects are written
-with ``repr`` strings and will round-trip structurally but not by identity.
+store a tagged JSON form that round-trips every supported id type *by
+identity*: strings, ints, bools, floats, and arbitrarily nested tuples of
+those.  Faithful round-tripping matters beyond aesthetics — the engine's
+result cache is addressed by :func:`instance_digest`, so an id that decodes
+to a different object would make ``load(save(inst))`` hash differently and
+silently miss every cached result.  Ids outside the supported set therefore
+raise :class:`SerializationError` at save time instead of being degraded to
+``repr`` strings (the historical behaviour; documents written by older
+versions with ``repr``-encoded ids are still readable and decode to those
+strings).
 """
 
 from __future__ import annotations
@@ -36,12 +42,20 @@ def _encode_id(node_id: NodeId) -> Any:
     if isinstance(node_id, str):
         return node_id
     if isinstance(node_id, bool):  # bool before int: bool is an int subclass
-        return {"__kind__": "repr", "value": repr(node_id)}
+        return {"__kind__": "bool", "value": node_id}
     if isinstance(node_id, int):
         return {"__kind__": "int", "value": node_id}
+    if isinstance(node_id, float):
+        # repr round-trips every float exactly (including inf/-inf/nan) and,
+        # unlike a raw JSON number, survives json encoders that reject
+        # non-finite values.
+        return {"__kind__": "float", "value": repr(node_id)}
     if isinstance(node_id, tuple):
         return {"__kind__": "tuple", "items": [_encode_id(x) for x in node_id]}
-    return {"__kind__": "repr", "value": repr(node_id)}
+    raise SerializationError(
+        f"node id {node_id!r} of type {type(node_id).__name__} cannot be serialized "
+        "faithfully; supported id types are str, int, bool, float and tuples thereof"
+    )
 
 
 def _decode_id(data: Any) -> NodeId:
@@ -49,11 +63,15 @@ def _decode_id(data: Any) -> NodeId:
         return data
     if isinstance(data, Mapping):
         kind = data.get("__kind__")
+        if kind == "bool":
+            return bool(data["value"])
         if kind == "int":
             return int(data["value"])
+        if kind == "float":
+            return float(data["value"])
         if kind == "tuple":
             return tuple(_decode_id(x) for x in data["items"])
-        if kind == "repr":
+        if kind == "repr":  # legacy documents (pre-tagged bools / exotic ids)
             return str(data["value"])
     raise SerializationError(f"cannot decode node id from {data!r}")
 

@@ -5,6 +5,8 @@ from __future__ import annotations
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.solution import Solution
 from repro.cli import build_parser, main
@@ -61,6 +63,77 @@ class TestJsonSerialization:
         assert payload["utility"] == pytest.approx(0.75)
         path = save_solution(sol, tmp_path / "sol.json")
         assert path.exists()
+
+
+class TestNodeIdRoundTrip:
+    """Regression: bool/float ids used to degrade to repr strings, so a
+    save/load hop changed the instance digest and the engine's result cache
+    silently missed forever after."""
+
+    @staticmethod
+    def _chain(agents):
+        from repro.core.instance import MaxMinInstance
+
+        a = {("c", agents[0]): 1.0, ("c", agents[1]): 2.0}
+        c = {("o", v): 1.0 for v in agents}
+        return MaxMinInstance(agents, ["c"], ["o"], a, c, name="id-roundtrip")
+
+    def test_bool_ids_roundtrip_by_identity(self):
+        inst = self._chain([True, False])
+        restored = instance_from_json(instance_to_json(inst))
+        assert restored.agents == (True, False)
+        assert all(type(v) is bool for v in restored.agents)
+        assert restored == inst
+
+    def test_float_ids_roundtrip_by_identity(self):
+        inst = self._chain([0.5, -2.25, float("inf")])
+        restored = instance_from_json(instance_to_json(inst))
+        assert restored.agents == (0.5, -2.25, float("inf"))
+        assert all(type(v) is float for v in restored.agents)
+
+    def test_digest_stable_after_save_load_hop(self, tmp_path):
+        from repro.io import instance_digest
+
+        inst = self._chain([True, 2, ("nested", False, 1.5)])
+        path = save_instance(inst, tmp_path / "exotic.json")
+        restored = load_instance(path)
+        assert restored == inst
+        assert instance_digest(restored) == instance_digest(inst)
+
+    def test_exotic_ids_rejected_instead_of_degraded(self):
+        inst = self._chain([frozenset({"x"}), "b"])
+        with pytest.raises(SerializationError, match="faithfully"):
+            instance_to_json(inst)
+
+    def test_legacy_repr_documents_still_decode(self):
+        from repro.io.serialization import _decode_id
+
+        assert _decode_id({"__kind__": "repr", "value": "True"}) == "True"
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.booleans(),
+                st.integers(min_value=-(10**6), max_value=10**6),
+                st.floats(allow_nan=False),
+                st.text(max_size=8),
+                st.tuples(st.booleans(), st.integers(), st.text(max_size=4)),
+            ),
+            min_size=2,
+            max_size=6,
+            unique=True,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_digest_stability_property(self, agent_ids):
+        from repro.io import instance_digest
+
+        inst = self._chain(agent_ids)
+        text = instance_to_json(inst)
+        restored = instance_from_json(text)
+        assert restored == inst
+        assert instance_to_json(restored) == text
+        assert instance_digest(restored) == instance_digest(inst)
 
 
 class TestGraphml:
