@@ -105,6 +105,26 @@ class GeneralSolveResult:
         )
 
 
+class _PreparedSolve:
+    """Per-instance state between preprocessing/transform and the §5 solve."""
+
+    __slots__ = ("instance", "pre", "transform", "special_instance", "result")
+
+    def __init__(
+        self,
+        instance: MaxMinInstance,
+        pre: PreprocessResult,
+        transform: Optional[TransformResult],
+        special_instance: Optional[MaxMinInstance],
+        result: Optional["GeneralSolveResult"],
+    ) -> None:
+        self.instance = instance
+        self.pre = pre
+        self.transform = transform
+        self.special_instance = special_instance
+        self.result = result
+
+
 class LocalMaxMinSolver:
     """The paper's local approximation algorithm for arbitrary max-min LPs.
 
@@ -118,6 +138,11 @@ class LocalMaxMinSolver:
         Passed through to :class:`SpecialFormLocalSolver` (``backend`` picks
         the compiled vectorized kernels — the default — or the per-node
         reference implementation).
+    transform_backend:
+        Backend for the §4 transformation pipeline: ``"auto"`` (default)
+        follows ``backend``, ``"vectorized"`` forces the compiled array
+        pipeline (digest-identical instances, array-encoded back-map),
+        ``"reference"`` forces the per-stage object pipeline.
     """
 
     def __init__(
@@ -127,9 +152,21 @@ class LocalMaxMinSolver:
         tu_method: str = "recursion",
         tu_tol: float = 1e-10,
         backend: str = "vectorized",
+        transform_backend: str = "auto",
     ) -> None:
+        if transform_backend not in ("auto", "vectorized", "reference"):
+            raise ValueError(
+                f"unknown transform_backend {transform_backend!r} "
+                "(expected 'auto', 'vectorized' or 'reference')"
+            )
         self.R = R
+        self.transform_backend = transform_backend
         self.inner = SpecialFormLocalSolver(R, tu_method=tu_method, tu_tol=tu_tol, backend=backend)
+
+    def _resolved_transform_backend(self) -> str:
+        if self.transform_backend == "auto":
+            return self.inner.backend
+        return self.transform_backend
 
     @property
     def name(self) -> str:
@@ -151,25 +188,30 @@ class LocalMaxMinSolver:
         return Solution(instance, values, label="local-trivial")
 
     # ------------------------------------------------------------------
-    def solve(self, instance: MaxMinInstance) -> GeneralSolveResult:
-        """Run the full pipeline on an arbitrary max-min LP instance."""
-        pre = preprocess(instance)
+    def _certificate(self, instance: MaxMinInstance, ratio: float, status: str) -> Certificate:
+        return Certificate(
+            algorithm=self.name,
+            guaranteed_ratio=ratio,
+            delta_I=instance.delta_I,
+            delta_K=instance.delta_K,
+            parameters={"R": self.R, "tu_method": self.inner.tu_method, "status": status},
+        )
 
-        def certificate(ratio: float, status: str) -> Certificate:
-            return Certificate(
-                algorithm=self.name,
-                guaranteed_ratio=ratio,
-                delta_I=instance.delta_I,
-                delta_K=instance.delta_K,
-                parameters={"R": self.R, "tu_method": self.inner.tu_method, "status": status},
-            )
+    def _prepare(self, instance: MaxMinInstance) -> _PreparedSolve:
+        """Preprocess and transform one instance; short paths resolve here.
+
+        ``result`` is filled for the trivial outcomes (zero / unbounded /
+        ``ΔI ≤ 1``); otherwise ``special_instance`` awaits a §5 solve.
+        """
+        pre = preprocess(instance)
 
         # Degenerate outcomes first.
         if pre.optimum_is_zero:
             solution = pre.zero_solution(label=self.name)
-            cert = certificate(1.0, "zero")
+            cert = self._certificate(instance, 1.0, "zero")
             cert.utility = solution.utility()
-            return GeneralSolveResult(solution, cert, pre, None, None, "zero")
+            result = GeneralSolveResult(solution, cert, pre, None, None, "zero")
+            return _PreparedSolve(instance, pre, None, None, result)
 
         if pre.optimum_is_unbounded or pre.instance.num_agents == 0:
             solution = pre.lift(
@@ -177,9 +219,10 @@ class LocalMaxMinSolver:
                 target_utility=1.0,
                 label=self.name,
             )
-            cert = certificate(1.0, "unbounded")
+            cert = self._certificate(instance, 1.0, "unbounded")
             cert.utility = solution.utility()
-            return GeneralSolveResult(solution, cert, pre, None, None, "unbounded")
+            result = GeneralSolveResult(solution, cert, pre, None, None, "unbounded")
+            return _PreparedSolve(instance, pre, None, None, result)
 
         clean = pre.instance
 
@@ -189,19 +232,27 @@ class LocalMaxMinSolver:
             solution = pre.lift(inner_solution, label=self.name) if pre.changed else Solution(
                 instance, inner_solution.as_dict(), label=self.name
             )
-            cert = certificate(1.0, "trivial-delta-I-1")
+            cert = self._certificate(instance, 1.0, "trivial-delta-I-1")
             cert.utility = solution.utility()
-            return GeneralSolveResult(solution, cert, pre, None, None, "trivial-delta-I-1")
+            result = GeneralSolveResult(solution, cert, pre, None, None, "trivial-delta-I-1")
+            return _PreparedSolve(instance, pre, None, None, result)
 
-        # Normal path: §4 transformations, §5 algorithm, back-map, lift.
+        # Normal path: §4 transformations ahead of the §5 solve.
         if clean.is_special_form():
             transform = None
             special_instance = clean
         else:
-            transform = to_special_form(clean)
+            transform = to_special_form(clean, backend=self._resolved_transform_backend())
             special_instance = transform.transformed
+        return _PreparedSolve(instance, pre, transform, special_instance, None)
 
-        special_result = self.inner.solve(special_instance)
+    def _finish(
+        self, prep: _PreparedSolve, special_result: SpecialFormSolveResult
+    ) -> GeneralSolveResult:
+        """Back-map, lift and certify one §5 result."""
+        instance = prep.instance
+        pre = prep.pre
+        transform = prep.transform
 
         mapped = special_result.solution
         if transform is not None:
@@ -214,11 +265,37 @@ class LocalMaxMinSolver:
         # Guarantee accounting: the special-form factor times the composed
         # transformation factor (only §4.3 contributes, exactly ΔI/2).
         transform_factor = transform.ratio_factor if transform is not None else 1.0
-        ratio = transform_factor * special_form_ratio(special_instance.delta_K, self.R)
-        cert = certificate(ratio, "local")
+        ratio = transform_factor * special_form_ratio(prep.special_instance.delta_K, self.R)
+        cert = self._certificate(instance, ratio, "local")
         cert.utility = final.utility()
 
         return GeneralSolveResult(final, cert, pre, transform, special_result, "local")
+
+    def solve(self, instance: MaxMinInstance) -> GeneralSolveResult:
+        """Run the full pipeline on an arbitrary max-min LP instance."""
+        prep = self._prepare(instance)
+        if prep.result is not None:
+            return prep.result
+        special_result = self.inner.solve(prep.special_instance)
+        return self._finish(prep, special_result)
+
+    def solve_many(self, instances) -> list:
+        """Solve several instances with one batched §5 kernel dispatch.
+
+        Every instance is preprocessed and transformed individually (trivial
+        outcomes — zero, unbounded, ``ΔI ≤ 1`` — resolve without touching the
+        kernels); the surviving special-form instances are then solved in a
+        single :meth:`SpecialFormLocalSolver.solve_batch` call, so a whole
+        sweep pays the kernel-launch overhead once.  Results are identical
+        to calling :meth:`solve` per instance (bitwise, for the vectorized
+        backend) and are returned in input order.
+        """
+        preps = [self._prepare(instance) for instance in instances]
+        pending = [prep for prep in preps if prep.result is None]
+        inner_results = self.inner.solve_batch([prep.special_instance for prep in pending])
+        for prep, special_result in zip(pending, inner_results):
+            prep.result = self._finish(prep, special_result)
+        return [prep.result for prep in preps]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"LocalMaxMinSolver(R={self.R}, tu_method={self.inner.tu_method!r})"

@@ -249,8 +249,20 @@ class SpecialFormLocalSolver:
         s = smooth_bounds_kernel(comp, t, r)
         g_plus, g_minus = g_recursion_kernel(comp, s, r)
         x = output_kernel(g_plus, g_minus, self.R)
+        return self._package_vectorized(instance, t, s, g_plus, g_minus, x)
 
-        agents = comp.agents
+    def _package_vectorized(
+        self,
+        instance: MaxMinInstance,
+        t,
+        s,
+        g_plus,
+        g_minus,
+        x,
+    ) -> SpecialFormSolveResult:
+        """Wrap kernel output arrays (canonical agent order) into a result."""
+        agents = instance.agents
+        r = self.r
         g = GRecursionValues(
             [dict(zip(agents, g_plus[d].tolist())) for d in range(r + 1)],
             [dict(zip(agents, g_minus[d].tolist())) for d in range(r + 1)],
@@ -264,6 +276,52 @@ class SpecialFormLocalSolver:
             R=self.R,
             guaranteed_ratio=special_form_ratio(instance.delta_K, self.R),
         )
+
+    def solve_batch(self, instances) -> List[SpecialFormSolveResult]:
+        """Solve many special-form instances in **one** kernel dispatch.
+
+        The instances' compiled CSR blocks are concatenated into a
+        :class:`~repro.core.compiled.CompiledBatch` (offset-shifted indices)
+        and the whole §5 pipeline — tree construction, the ``t_u`` bisection,
+        smoothing, the ``g±`` recursion and Eq. 18 — runs once over the
+        stack, amortising kernel launches over the batch.  Tree
+        deduplication spans the batch, so structurally identical trees of
+        *different* instances share one bisection.  Every kernel reduces over
+        per-agent segments that never cross block boundaries, so each
+        instance's outputs are bitwise identical to a solo
+        ``backend="vectorized"`` solve.
+
+        The ``reference`` backend and the ``tu_method="lp"`` path (which
+        needs a live instance per tree) fall back to per-instance solves.
+        """
+        instances = list(instances)
+        if not instances:
+            return []
+        if self.backend == "reference" or self.tu_method == "lp" or len(instances) == 1:
+            return [self.solve(instance) for instance in instances]
+
+        from ..core.compiled import stack_compiled
+        from .kernels import (
+            batched_upper_bounds,
+            g_recursion_kernel,
+            output_kernel,
+            smooth_bounds_kernel,
+        )
+
+        for instance in instances:
+            require_special_form(instance)
+        stacked = stack_compiled([instance.compiled() for instance in instances])
+        r = self.r
+        t = batched_upper_bounds(stacked, r, method=self.tu_method, tol=self.tu_tol)
+        s = smooth_bounds_kernel(stacked, t, r)
+        g_plus, g_minus = g_recursion_kernel(stacked, s, r)
+        x = output_kernel(g_plus, g_minus, self.R)
+        return [
+            self._package_vectorized(
+                instance, t[sl], s[sl], g_plus[:, sl], g_minus[:, sl], x[sl]
+            )
+            for instance, sl in zip(instances, stacked.agent_slices())
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -21,6 +21,7 @@ __all__ = [
     "measured_ratio",
     "evaluate_solution",
     "evaluate_local_algorithm",
+    "local_solve_record",
     "evaluate_safe_algorithm",
     "evaluate_lp_optimum",
     "compare_algorithms",
@@ -76,6 +77,7 @@ def evaluate_local_algorithm(
     R: int,
     tu_method: str = "recursion",
     backend: str = "vectorized",
+    transform_backend: str = "auto",
     optimum: Optional[float] = None,
 ) -> Dict[str, object]:
     """Run the local algorithm once and return its ``local-R{R}`` record.
@@ -83,7 +85,25 @@ def evaluate_local_algorithm(
     Shared by :func:`compare_algorithms` and the batch engine
     (:mod:`repro.engine.registry`) so their records cannot drift apart.
     """
-    result = LocalMaxMinSolver(R=R, tu_method=tu_method, backend=backend).solve(instance)
+    result = LocalMaxMinSolver(
+        R=R, tu_method=tu_method, backend=backend, transform_backend=transform_backend
+    ).solve(instance)
+    return local_solve_record(instance, result, R=R, optimum=optimum)
+
+
+def local_solve_record(
+    instance: MaxMinInstance,
+    result,
+    *,
+    R: int,
+    optimum: Optional[float] = None,
+) -> Dict[str, object]:
+    """The ``local-R{R}`` record of an already-computed ``GeneralSolveResult``.
+
+    Split out of :func:`evaluate_local_algorithm` so the engine's batched
+    multi-instance dispatch (which solves many instances in one kernel pass
+    and only then builds records) produces byte-identical rows.
+    """
     return evaluate_solution(
         instance,
         result.solution,
@@ -133,6 +153,7 @@ def compare_algorithms(
     tu_method: str = "recursion",
     backend: str = "vectorized",
     safe_backend: str = "vectorized",
+    transform_backend: str = "auto",
 ) -> List[Dict[str, object]]:
     """Run the local algorithm (for each R) and the safe baseline on one instance."""
     lp = solve_maxmin_lp(instance)
@@ -141,7 +162,12 @@ def compare_algorithms(
     for R in R_values:
         records.append(
             evaluate_local_algorithm(
-                instance, R=R, tu_method=tu_method, backend=backend, optimum=lp.optimum
+                instance,
+                R=R,
+                tu_method=tu_method,
+                backend=backend,
+                transform_backend=transform_backend,
+                optimum=lp.optimum,
             )
         )
 

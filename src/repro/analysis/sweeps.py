@@ -35,10 +35,12 @@ def run_ratio_sweep(
     tu_method: str = "recursion",
     backend: str = "vectorized",
     safe_backend: str = "vectorized",
+    transform_backend: str = "auto",
     extra_fields: Optional[Mapping[str, Callable[[MaxMinInstance], object]]] = None,
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
     executor: Optional["Executor"] = None,
+    dispatch: str = "per-job",
 ) -> List[Dict[str, object]]:
     """Evaluate the algorithms on every instance and return flat records.
 
@@ -57,6 +59,9 @@ def run_ratio_sweep(
         (per-node object traversal) for the local solver.
     safe_backend:
         Same knob for the safe baseline (CSR segment-min vs per-node dicts).
+    transform_backend:
+        Backend for the §4 transformation pipeline on the general path:
+        ``"auto"`` (follow ``backend``), ``"vectorized"`` or ``"reference"``.
     extra_fields:
         Optional ``column -> f(instance)`` callables whose values are added
         to every record of that instance (e.g. a family label or a size
@@ -72,6 +77,10 @@ def run_ratio_sweep(
         recomputed.
     executor:
         Explicit :class:`repro.engine.executors.Executor`; overrides ``jobs``.
+    dispatch:
+        ``"per-job"`` (default) or ``"batched"`` — the latter solves all of
+        the sweep's ``local`` jobs per parameter set in one multi-instance
+        kernel dispatch (see :func:`repro.engine.registry.execute_jobs_batched`).
     """
     rows, _ = run_ratio_sweep_batch(
         instances,
@@ -80,10 +89,12 @@ def run_ratio_sweep(
         tu_method=tu_method,
         backend=backend,
         safe_backend=safe_backend,
+        transform_backend=transform_backend,
         extra_fields=extra_fields,
         jobs=jobs,
         cache_dir=cache_dir,
         executor=executor,
+        dispatch=dispatch,
     )
     return rows
 
@@ -96,10 +107,12 @@ def run_ratio_sweep_batch(
     tu_method: str = "recursion",
     backend: str = "vectorized",
     safe_backend: str = "vectorized",
+    transform_backend: str = "auto",
     extra_fields: Optional[Mapping[str, Callable[[MaxMinInstance], object]]] = None,
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
     executor: Optional["Executor"] = None,
+    dispatch: str = "per-job",
 ) -> Tuple[List[Dict[str, object]], "BatchResult"]:
     """Like :func:`run_ratio_sweep`, but also return the engine's
     :class:`~repro.engine.batch.BatchResult` (executed/cached job counts,
@@ -118,8 +131,11 @@ def run_ratio_sweep_batch(
         tu_method=tu_method,
         backend=backend,
         safe_backend=safe_backend,
+        transform_backend=transform_backend,
     )
-    result = run_batch(batch, executor=executor, jobs=jobs, cache_dir=cache_dir)
+    result = run_batch(
+        batch, executor=executor, jobs=jobs, cache_dir=cache_dir, dispatch=dispatch
+    )
 
     rows: List[Dict[str, object]] = []
     for job_result, owner in zip(result.results, batch.owners):

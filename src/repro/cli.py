@@ -74,6 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="vectorized",
         help="local-solver backend (compiled CSR kernels vs per-node reference)",
     )
+    solve.add_argument(
+        "--transform-backend",
+        choices=["auto", "vectorized", "reference"],
+        default="auto",
+        dest="transform_backend",
+        help="§4 transformation pipeline backend (auto follows --backend)",
+    )
     solve.add_argument("--output", help="write the solution to this JSON path")
     solve.add_argument("--with-safe", action="store_true", help="also run the safe baseline")
     solve.add_argument(
@@ -126,6 +133,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="safe-baseline backend (CSR segment-min vs per-node dicts)",
     )
     sweep.add_argument(
+        "--transform-backend",
+        choices=["auto", "vectorized", "reference"],
+        default="auto",
+        dest="transform_backend",
+        help="§4 transformation pipeline backend (auto follows --backend)",
+    )
+    sweep.add_argument(
+        "--dispatch",
+        choices=["per-job", "batched"],
+        default="per-job",
+        help="batched = one multi-instance kernel dispatch per local parameter set",
+    )
+    sweep.add_argument(
         "--full-table", action="store_true", help="print every record, not just the summary"
     )
 
@@ -163,6 +183,12 @@ def _generate(args: argparse.Namespace) -> int:
 
 
 def _sweep(args: argparse.Namespace) -> int:
+    if args.dispatch == "batched" and args.jobs > 1:
+        print(
+            "error: --dispatch batched runs in-process; drop --jobs (or use --dispatch per-job)",
+            file=sys.stderr,
+        )
+        return 2
     instances = [
         _make_instance(args.family, size, args.delta_I, args.delta_K, args.seed)
         for size in args.sizes
@@ -175,12 +201,14 @@ def _sweep(args: argparse.Namespace) -> int:
         tu_method=args.tu_method,
         backend=args.backend,
         safe_backend=args.safe_backend,
+        transform_backend=args.transform_backend,
         extra_fields={
             "family": lambda inst: args.family,
             "size": lambda inst: sizes_by_id[id(inst)],
         },
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        dispatch=args.dispatch,
     )
     if args.full_table:
         columns = [
@@ -200,7 +228,7 @@ def _sweep(args: argparse.Namespace) -> int:
     print(format_table(summary, title=f"worst-case summary: {args.family}"))
     print(
         f"jobs: {batch_result.executed_jobs} executed, {batch_result.cached_jobs} cached "
-        f"({batch_result.elapsed_s:.2f}s, jobs={args.jobs}"
+        f"({batch_result.elapsed_s:.2f}s, jobs={args.jobs}, dispatch={args.dispatch}"
         + (f", cache={args.cache_dir}" if args.cache_dir else "")
         + ")"
     )
@@ -209,7 +237,9 @@ def _sweep(args: argparse.Namespace) -> int:
 
 def _solve(args: argparse.Namespace) -> int:
     instance = load_instance(args.input)
-    solver = LocalMaxMinSolver(R=args.R, backend=args.backend)
+    solver = LocalMaxMinSolver(
+        R=args.R, backend=args.backend, transform_backend=args.transform_backend
+    )
     result = solver.solve(instance)
     rows = [
         {

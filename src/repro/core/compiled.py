@@ -29,7 +29,7 @@ Two layers are exposed:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -38,7 +38,7 @@ from ..exceptions import NotSpecialFormError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (instance imports us lazily)
     from .instance import MaxMinInstance
 
-__all__ = ["CompiledInstance"]
+__all__ = ["CompiledInstance", "CompiledBatch", "stack_compiled"]
 
 
 def _csr_from_rows(rows, index: Dict[object, int], coeff_lookup) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -324,3 +324,141 @@ class CompiledInstance:
             f"|I|={self.num_constraints}, |K|={self.num_objectives}, "
             f"nnz={len(self.con_indices) + len(self.obj_indices)})"
         )
+
+
+def _cat_indptr(indptrs: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate CSR index pointers, shifting each block past the previous."""
+    parts = [np.zeros(1, dtype=np.int64)]
+    offset = 0
+    for ptr in indptrs:
+        parts.append(ptr[1:] + offset)
+        offset += int(ptr[-1])
+    return np.concatenate(parts)
+
+
+def _cat_shifted(arrays: Sequence[np.ndarray], offsets: np.ndarray, dtype=np.int64) -> np.ndarray:
+    """Concatenate index arrays, shifting block ``b`` by ``offsets[b]``."""
+    if not arrays:
+        return np.zeros(0, dtype=dtype)
+    return np.concatenate([arr + off for arr, off in zip(arrays, offsets)])
+
+
+class CompiledBatch:
+    """Several compiled instances stacked into one block-diagonal CSR view.
+
+    The §5 kernels (:mod:`repro.algo.kernels`) only read per-agent adjacency
+    arrays and reduce over row segments, so a *batch* of instances whose
+    index arrays are concatenated with offset-shifted positions behaves
+    exactly like one big (disconnected) instance: one
+    :func:`~repro.algo.kernels.batched_upper_bounds` call builds every tree
+    of every instance, one smoothing pass propagates every block, one ``g±``
+    sweep covers all agents — the kernel-launch overhead is paid once per
+    *batch* instead of once per instance.  Because every kernel is
+    segment-local, the per-agent outputs are bitwise identical to running
+    the instances one at a time (pinned by ``tests/test_kernels.py``).
+
+    Exposes exactly the :class:`CompiledInstance` surface the kernels
+    consume (``con_*``/``obj_*``/``oagents_*``, ``capacity``,
+    ``con_partner``, ``obj_of_agent``, ``smoothing_adjacency``,
+    ``sibling_sums``); ``agent_slices()`` recovers the per-instance output
+    ranges.  The ``tu_method="lp"`` path needs a live instance per tree and
+    is therefore not available on a batch (``instance`` is ``None``).
+    """
+
+    __slots__ = (
+        "parts",
+        "agent_offsets",
+        "agents",
+        "capacity",
+        "con_indptr",
+        "con_indices",
+        "con_coeff",
+        "con_partner",
+        "con_partner_coeff",
+        "obj_of_agent",
+        "oagents_indptr",
+        "oagents_indices",
+        "_adj",
+        "instance",
+    )
+
+    def __init__(self, parts: Sequence["CompiledInstance"]) -> None:
+        if not parts:
+            raise ValueError("CompiledBatch requires at least one compiled instance")
+        self.parts: Tuple["CompiledInstance", ...] = tuple(parts)
+        self.instance = None
+        agent_counts = np.asarray([p.num_agents for p in self.parts], dtype=np.int64)
+        self.agent_offsets = np.zeros(len(self.parts) + 1, dtype=np.int64)
+        np.cumsum(agent_counts, out=self.agent_offsets[1:])
+        con_offsets = np.zeros(len(self.parts), dtype=np.int64)
+        obj_offsets = np.zeros(len(self.parts), dtype=np.int64)
+        con_counts = np.asarray([p.num_constraints for p in self.parts[:-1]], dtype=np.int64)
+        obj_counts = np.asarray([p.num_objectives for p in self.parts[:-1]], dtype=np.int64)
+        np.cumsum(con_counts, out=con_offsets[1:])
+        np.cumsum(obj_counts, out=obj_offsets[1:])
+
+        agents: List[object] = []
+        for p in self.parts:
+            agents.extend(p.agents)
+        self.agents = tuple(agents)
+
+        offs = self.agent_offsets[:-1]
+        self.capacity = np.concatenate([p.capacity for p in self.parts])
+        self.con_indptr = _cat_indptr([p.con_indptr for p in self.parts])
+        self.con_indices = _cat_shifted([p.con_indices for p in self.parts], con_offsets)
+        self.con_coeff = np.concatenate([p.con_coeff for p in self.parts])
+        # Special-form arrays: building them validates each part's form.
+        self.con_partner = _cat_shifted([p.con_partner for p in self.parts], offs)
+        self.con_partner_coeff = np.concatenate(
+            [p.con_partner_coeff for p in self.parts]
+        )
+        self.obj_of_agent = _cat_shifted([p.obj_of_agent for p in self.parts], obj_offsets)
+        self.oagents_indptr = _cat_indptr([p.oagents_indptr for p in self.parts])
+        self.oagents_indices = _cat_shifted([p.oagents_indices for p in self.parts], offs)
+        adj_parts = [p.smoothing_adjacency for p in self.parts]
+        self._adj = (
+            _cat_indptr([a[0] for a in adj_parts]),
+            _cat_shifted([a[1] for a in adj_parts], offs),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_agents(self) -> int:
+        return int(self.agent_offsets[-1])
+
+    @property
+    def num_objectives(self) -> int:
+        return sum(p.num_objectives for p in self.parts)
+
+    @property
+    def num_constraints(self) -> int:
+        return sum(p.num_constraints for p in self.parts)
+
+    @property
+    def smoothing_adjacency(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self._adj
+
+    def sibling_sums(self, values: np.ndarray) -> np.ndarray:
+        """``Σ_{w ∈ N(v)} values[w]`` per agent — same formula as the per-instance view."""
+        per_objective = np.bincount(
+            self.obj_of_agent, weights=values, minlength=self.num_objectives
+        )
+        return per_objective[self.obj_of_agent] - values
+
+    def agent_slices(self) -> List[slice]:
+        """Per-instance slices into any ``num_agents``-long kernel output."""
+        return [
+            slice(int(self.agent_offsets[b]), int(self.agent_offsets[b + 1]))
+            for b in range(len(self.parts))
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompiledBatch(instances={len(self.parts)}, |V|={self.num_agents}, "
+            f"|I|={self.num_constraints}, |K|={self.num_objectives})"
+        )
+
+
+def stack_compiled(parts: Sequence["CompiledInstance"]) -> CompiledBatch:
+    """Stack compiled special-form instances into one :class:`CompiledBatch`."""
+    return CompiledBatch(parts)

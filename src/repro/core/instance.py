@@ -184,11 +184,22 @@ class MaxMinInstance:
         constraints_of_agent: Dict[NodeId, List[NodeId]] = {v: [] for v in self._agents}
         objectives_of_agent: Dict[NodeId, List[NodeId]] = {v: [] for v in self._agents}
 
+        # Canonical identity maps: coefficient keys may be equal-but-distinct
+        # objects (e.g. ``numpy.str_`` leaking out of a generator's sampling).
+        # Normalising them to the *declared* node objects keeps every derived
+        # structure — reprs, JSON sort order, hashes, content digests —
+        # dependent only on node values, never on key object identity.
+        canon_agent: Dict[NodeId, NodeId] = {v: v for v in self._agents}
+        canon_constraint: Dict[NodeId, NodeId] = {i: i for i in self._constraints}
+        canon_objective: Dict[NodeId, NodeId] = {k: k for k in self._objectives}
+
         for (i, v), coeff in a.items():
             if i not in agents_of_constraint:
                 raise InvalidInstanceError(f"coefficient a[{i!r}, {v!r}] refers to unknown constraint {i!r}")
             if v not in constraints_of_agent:
                 raise InvalidInstanceError(f"coefficient a[{i!r}, {v!r}] refers to unknown agent {v!r}")
+            i = canon_constraint[i]
+            v = canon_agent[v]
             coeff = float(coeff)
             if not math.isfinite(coeff) or coeff <= 0.0:
                 raise InvalidInstanceError(
@@ -205,6 +216,8 @@ class MaxMinInstance:
                 raise InvalidInstanceError(f"coefficient c[{k!r}, {v!r}] refers to unknown objective {k!r}")
             if v not in objectives_of_agent:
                 raise InvalidInstanceError(f"coefficient c[{k!r}, {v!r}] refers to unknown agent {v!r}")
+            k = canon_objective[k]
+            v = canon_agent[v]
             coeff = float(coeff)
             if not math.isfinite(coeff) or coeff <= 0.0:
                 raise InvalidInstanceError(

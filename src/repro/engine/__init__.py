@@ -24,7 +24,7 @@ from .batch import BatchResult, ratio_sweep_batch, run_batch
 from .cache import ResultCache
 from .executors import Executor, ParallelExecutor, SerialExecutor, default_executor
 from .job import BatchSpec, JobResult, JobSpec, make_jobs_for_instance
-from .registry import SOLVER_VERSIONS, execute_job, solver_version
+from .registry import SOLVER_VERSIONS, execute_job, execute_jobs_batched, solver_version
 
 __all__ = [
     "JobSpec",
@@ -40,6 +40,7 @@ __all__ = [
     "run_batch",
     "ratio_sweep_batch",
     "execute_job",
+    "execute_jobs_batched",
     "solver_version",
     "SOLVER_VERSIONS",
 ]

@@ -54,6 +54,7 @@ def run_batch(
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     cache_dir: Optional[Union[str, "object"]] = None,
+    dispatch: str = "per-job",
 ) -> BatchResult:
     """Execute a batch: cache lookup → fan-out of misses → ordered reassembly.
 
@@ -69,7 +70,26 @@ def run_batch(
     cache / cache_dir:
         An open :class:`ResultCache`, or a directory to open one in.  With a
         warm cache a re-run executes **zero** jobs (``executed_jobs == 0``).
+    dispatch:
+        ``"per-job"`` (default) hands every cache miss to the executor
+        individually; ``"batched"`` routes the misses through
+        :func:`repro.engine.registry.execute_jobs_batched`, which groups
+        ``local`` jobs by parameter set and solves each group in **one**
+        multi-instance §5 kernel dispatch (in-process — batching replaces
+        process fan-out, so combining it with an explicit ``executor`` or
+        ``jobs > 1`` is rejected).  Records are identical either way.
     """
+    if dispatch not in ("per-job", "batched"):
+        raise EngineError(
+            f"unknown dispatch mode {dispatch!r} (expected 'per-job' or 'batched')"
+        )
+    if dispatch == "batched" and (executor is not None or (jobs is not None and jobs > 1)):
+        # Batched dispatch runs in-process; silently dropping a requested
+        # process fan-out would misreport the parallelism actually used.
+        raise EngineError(
+            "dispatch='batched' executes in-process and cannot be combined with "
+            "an explicit executor or jobs > 1; drop one of the two knobs"
+        )
     if executor is None:
         executor = default_executor(jobs)
     if cache is None and cache_dir is not None:
@@ -89,7 +109,11 @@ def run_batch(
 
     if pending:
         job_start = time.perf_counter()
-        outputs = executor.map_jobs([spec for _, spec in pending])
+        pending_specs = [spec for _, spec in pending]
+        if dispatch == "batched":
+            outputs = registry.execute_jobs_batched(pending_specs)
+        else:
+            outputs = executor.map_jobs(pending_specs)
         if len(outputs) != len(pending):
             raise EngineError(
                 f"executor {executor!r} returned {len(outputs)} outputs for "
@@ -119,6 +143,7 @@ def ratio_sweep_batch(
     tu_method: str = "recursion",
     backend: str = "vectorized",
     safe_backend: str = "vectorized",
+    transform_backend: str = "auto",
 ) -> BatchSpec:
     """Build the batch equivalent of :func:`repro.analysis.sweeps.run_ratio_sweep`.
 
@@ -138,6 +163,7 @@ def ratio_sweep_batch(
                 tu_method=tu_method,
                 backend=backend,
                 safe_backend=safe_backend,
+                transform_backend=transform_backend,
             ),
             owner=index,
         )

@@ -130,14 +130,16 @@ def make_jobs_for_instance(
     tu_method: str = "recursion",
     backend: str = "vectorized",
     safe_backend: str = "vectorized",
+    transform_backend: str = "auto",
 ) -> List[JobSpec]:
     """The standard job slate for one instance, in canonical record order.
 
     The order matches :func:`repro.analysis.ratios.compare_algorithms`: the
     local algorithm for each ``R`` (ascending over ``R_values`` as given),
-    then the safe baseline, then the exact LP row.  ``backend`` is part of
-    the job parameters (and hence the cache key): results produced by the
-    vectorized and the reference solver backends are addressed separately.
+    then the safe baseline, then the exact LP row.  ``backend`` and
+    ``transform_backend`` are part of the job parameters (and hence the
+    cache key): results produced by different backend combinations are
+    addressed separately.
     """
     text = instance_to_json(instance)
     digest = instance_digest(text)
@@ -149,7 +151,12 @@ def make_jobs_for_instance(
                 instance_digest=digest,
                 algorithm="local",
                 params=_canonical_params(
-                    {"R": int(R), "tu_method": tu_method, "backend": backend}
+                    {
+                        "R": int(R),
+                        "tu_method": tu_method,
+                        "backend": backend,
+                        "transform_backend": transform_backend,
+                    }
                 ),
             )
         )

@@ -24,33 +24,37 @@ stale entries and nothing else.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..analysis.ratios import (
     evaluate_local_algorithm,
     evaluate_lp_optimum,
     evaluate_safe_algorithm,
+    local_solve_record,
 )
 from ..core.instance import MaxMinInstance
 from ..core.lp import LPResult, solve_maxmin_lp
 from ..exceptions import EngineError
 from ..io.serialization import instance_from_json
-from .job import JobSpec, Record
+from .job import JobSpec, ParamItems, Record
 
-__all__ = ["SOLVER_VERSIONS", "solver_version", "execute_job"]
+__all__ = ["SOLVER_VERSIONS", "solver_version", "execute_job", "execute_jobs_batched"]
 
 #: Version tag per registered algorithm.  Bump when an algorithm's *output*
 #: changes; cached results from older versions are then recomputed.
-#: ``local`` is at "2" since the vectorized backend became the default (its
-#: output agrees with the reference only to within bisection tolerance, so
-#: version-"1" cache entries are stale by the letter of the contract).
-#: ``safe`` is at "2" since it gained the ``backend`` job parameter: the two
-#: backends agree exactly, but version-"1" entries were recorded without the
-#: parameter and would alias both backends under one key.
+#: ``local`` is at "3": the §4 transformation pipeline's compiled backend
+#: became the default and the ``transform_backend`` job parameter joined the
+#: cache key (transformed instances are digest-identical, but back-mapped
+#: solutions agree only to 1e-12, so version-"2" entries are stale by the
+#: letter of the contract).  ``safe`` is at "2" since it gained the
+#: ``backend`` job parameter.  ``lp-optimum`` is at "2": the exact LP now
+#: assembles its matrix from compiled COO triplets and solves disconnected
+#: instances block-diagonally (same optima within solver tolerance, but not
+#: bit-identical vertex solutions).
 SOLVER_VERSIONS: Dict[str, str] = {
-    "local": "2",
+    "local": "3",
     "safe": "2",
-    "lp-optimum": "1",
+    "lp-optimum": "2",
 }
 
 
@@ -81,9 +85,15 @@ def execute_job(spec: JobSpec) -> List[Record]:
         R = int(params.get("R", 3))
         tu_method = str(params.get("tu_method", "recursion"))
         backend = str(params.get("backend", "vectorized"))
+        transform_backend = str(params.get("transform_backend", "auto"))
         return [
             evaluate_local_algorithm(
-                instance, R=R, tu_method=tu_method, backend=backend, optimum=lp.optimum
+                instance,
+                R=R,
+                tu_method=tu_method,
+                backend=backend,
+                transform_backend=transform_backend,
+                optimum=lp.optimum,
             )
         ]
 
@@ -95,3 +105,55 @@ def execute_job(spec: JobSpec) -> List[Record]:
         return [evaluate_lp_optimum(instance, lp=lp)]
 
     raise EngineError(f"algorithm {spec.algorithm!r} has a version but no executor branch")
+
+
+def execute_jobs_batched(specs: Sequence[JobSpec]) -> List[List[Record]]:
+    """Run a slate of jobs with multi-instance kernel dispatch.
+
+    ``local`` jobs sharing one parameter set are grouped and solved through
+    :meth:`~repro.algo.general_solver.LocalMaxMinSolver.solve_many`: the
+    group's special-form instances are concatenated into one compiled batch
+    and the §5 kernels run **once** for the whole group, instead of once per
+    job.  Outputs are identical to :func:`execute_job` (the batched kernels
+    are bitwise-equal to solo vectorized solves); other algorithms fall
+    through to :func:`execute_job` individually.  Runs in-process — batching
+    replaces process fan-out, it does not compose with it.
+    """
+    from ..algo.general_solver import LocalMaxMinSolver
+
+    outputs: List[List[Record]] = [None] * len(specs)  # type: ignore[list-item]
+    groups: Dict[ParamItems, List[int]] = {}
+    for index, spec in enumerate(specs):
+        solver_version(spec.algorithm)  # reject unknown algorithms up front
+        if spec.algorithm == "local":
+            groups.setdefault(spec.params, []).append(index)
+        else:
+            outputs[index] = execute_job(spec)
+
+    # Resolve every distinct instance once, in submission order, holding
+    # strong references: the parameter groups revisit the same instances in
+    # a different order, which would otherwise thrash the bounded
+    # ``_instance_and_lp`` memo and re-solve the exact LP per group.
+    shared: Dict[str, Tuple[MaxMinInstance, LPResult]] = {}
+    for params, indices in groups.items():
+        for index in indices:
+            text = specs[index].instance_json
+            if text not in shared:
+                shared[text] = _instance_and_lp(text)
+
+    for params, indices in groups.items():
+        pairs = [shared[specs[index].instance_json] for index in indices]
+        p = dict(params)
+        R = int(p.get("R", 3))
+        solver = LocalMaxMinSolver(
+            R=R,
+            tu_method=str(p.get("tu_method", "recursion")),
+            backend=str(p.get("backend", "vectorized")),
+            transform_backend=str(p.get("transform_backend", "auto")),
+        )
+        results = solver.solve_many([instance for instance, _ in pairs])
+        for index, result, (instance, lp) in zip(indices, results, pairs):
+            outputs[index] = [
+                local_solve_record(instance, result, R=R, optimum=lp.optimum)
+            ]
+    return outputs

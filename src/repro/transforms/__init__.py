@@ -7,6 +7,7 @@ from .normalise_coefficients import NormaliseCoefficients
 from .pipeline import apply_chain, canonical_transforms, to_special_form
 from .reduce_constraint_degree import ReduceConstraintDegree
 from .split_agents_by_objective import SplitAgentsByObjective
+from .vectorized import CompiledTransformResult, vectorized_to_special_form
 
 __all__ = [
     "Transform",
@@ -20,4 +21,6 @@ __all__ = [
     "canonical_transforms",
     "apply_chain",
     "to_special_form",
+    "CompiledTransformResult",
+    "vectorized_to_special_form",
 ]

@@ -61,6 +61,7 @@ def to_special_form(
     *,
     verify: bool = True,
     name: Optional[str] = None,
+    backend: str = "vectorized",
 ) -> TransformResult:
     """Convert a non-degenerate instance to the §5 special form.
 
@@ -75,7 +76,23 @@ def to_special_form(
         form; this is cheap and catches programming errors early.
     name:
         Optional name for the composed :class:`TransformResult`.
+    backend:
+        ``"vectorized"`` (default) computes the composed transformation as
+        index arithmetic over the compiled CSR arrays — digest-identical
+        output, one array-encoded back-map (see
+        :mod:`repro.transforms.vectorized`); ``"reference"`` applies the five
+        object-graph transformations one by one and composes their closures
+        (the readable oracle the equivalence property tests pin the compiled
+        path against).
     """
+    if backend == "vectorized":
+        from .vectorized import vectorized_to_special_form
+
+        return vectorized_to_special_form(instance, verify=verify, name=name)
+    if backend != "reference":
+        raise ValueError(
+            f"unknown transform backend {backend!r} (expected 'vectorized' or 'reference')"
+        )
     require_nondegenerate(instance)
     result = apply_chain(instance, canonical_transforms(), name=name or "to-special-form (§4)")
     if verify:

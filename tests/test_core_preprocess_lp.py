@@ -204,3 +204,87 @@ class TestExactLP:
             result = solve_maxmin_lp(inst)
             assert_feasible(result.solution)
             assert result.solution.utility() == pytest.approx(result.optimum, rel=1e-6, abs=1e-9)
+
+
+class TestCsrNativeLP:
+    """The compiled-COO assembly, block-diagonal components and the
+    vectorized ``best_response_value``."""
+
+    def test_block_diagonal_components_individual_optima(self):
+        # Three disconnected blocks with optima 1.0, 0.5 and 0.25: one
+        # linprog call must recover every block's own optimum, not just the
+        # binding minimum.
+        builder = InstanceBuilder()
+        builder.add_constraint_term("i1", "a", 1.0)
+        builder.add_objective_term("k1", "a", 1.0)
+        builder.add_constraint_term("i2", "b", 2.0)
+        builder.add_objective_term("k2", "b", 1.0)
+        builder.add_constraint_term("i3", "c", 4.0)
+        builder.add_objective_term("k3", "c", 1.0)
+        result = solve_maxmin_lp(builder.build(), split_components=True)
+        assert result.optimum == pytest.approx(0.25)
+        assert_feasible(result.solution)
+        assert result.solution.objective_value("k1") == pytest.approx(1.0)
+        assert result.solution.objective_value("k2") == pytest.approx(0.5)
+        assert result.solution.objective_value("k3") == pytest.approx(0.25)
+
+    def test_split_components_matches_joint_on_connected(self, random_general):
+        joint = solve_maxmin_lp(random_general)
+        split = solve_maxmin_lp(random_general, split_components=True)
+        assert split.optimum == pytest.approx(joint.optimum, rel=1e-9)
+
+    def test_split_components_single_linprog_call(self, monkeypatch):
+        import repro.core.lp as lp_mod
+
+        calls = []
+        real_linprog = lp_mod.linprog
+
+        def counting_linprog(*args, **kwargs):
+            calls.append(1)
+            return real_linprog(*args, **kwargs)
+
+        monkeypatch.setattr(lp_mod, "linprog", counting_linprog)
+        builder = InstanceBuilder()
+        for j in range(4):
+            builder.add_constraint_term(f"i{j}", f"a{j}", 1.0 + j)
+            builder.add_objective_term(f"k{j}", f"a{j}", 1.0)
+        result = solve_maxmin_lp(builder.build(), split_components=True)
+        assert len(calls) == 1
+        assert result.optimum == pytest.approx(0.25)
+
+    def test_best_response_exact_agreement_with_reference_loop(self):
+        """Bit-for-bit agreement with the historical per-constraint loop."""
+        import numpy as np
+
+        from repro.generators import random_instance
+
+        def reference(instance, fixed, free_agent):
+            best = math.inf
+            for i in instance.constraints_of_agent(free_agent):
+                load = sum(
+                    instance.a(i, w) * fixed.get(w, 0.0)
+                    for w in instance.agents_of_constraint(i)
+                    if w != free_agent
+                )
+                cap = (1.0 - load) / instance.a(i, free_agent)
+                best = min(best, cap)
+            return max(best, 0.0)
+
+        rng = np.random.default_rng(7)
+        for seed in (13, 5):
+            inst = random_instance(
+                40, delta_I=5, delta_K=3, extra_constraints=8, extra_objectives=4, seed=seed
+            )
+            values = {v: float(rng.uniform(0.0, 0.5)) for v in inst.agents}
+            for v in inst.agents:
+                fixed = {w: x for w, x in values.items() if w != v}
+                assert best_response_value(inst, fixed, v) == reference(inst, fixed, v)
+
+    def test_best_response_unknown_agent_raises(self, tiny_instance):
+        with pytest.raises(InvalidInstanceError):
+            best_response_value(tiny_instance, {}, "nope")
+
+    def test_best_response_ignores_unknown_fixed_agents(self, tiny_instance):
+        assert best_response_value(
+            tiny_instance, {"b": 0.25, "ghost": 9.0}, "a"
+        ) == pytest.approx(0.75)

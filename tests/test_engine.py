@@ -353,3 +353,66 @@ class TestSweepIntegration:
         out = capsys.readouterr().out
         assert "worst-case summary: cycle" in out
         assert "local-R2" in out and "size" in out
+
+
+class TestBatchedDispatch:
+    """dispatch="batched" must be observationally identical to per-job."""
+
+    def test_records_identical_to_per_job(self):
+        instances = small_family()
+        per_job = run_batch(
+            ratio_sweep_batch(instances, R_values=(2, 3), include_optimum=True)
+        )
+        batched = run_batch(
+            ratio_sweep_batch(instances, R_values=(2, 3), include_optimum=True),
+            dispatch="batched",
+        )
+        assert batched.records == per_job.records
+
+    def test_batched_dispatch_fills_and_reads_cache(self, tmp_path):
+        instances = small_family()
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_batch(
+            ratio_sweep_batch(instances, R_values=(2,)), cache=cache, dispatch="batched"
+        )
+        assert cold.executed_jobs > 0 and cold.cached_jobs == 0
+        warm = run_batch(
+            ratio_sweep_batch(instances, R_values=(2,)), cache=cache, dispatch="batched"
+        )
+        assert warm.executed_jobs == 0
+        assert warm.records == cold.records
+
+    def test_unknown_dispatch_rejected(self):
+        with pytest.raises(EngineError):
+            run_batch(BatchSpec(), dispatch="sideways")
+
+    def test_batched_dispatch_rejects_process_fanout(self):
+        with pytest.raises(EngineError):
+            run_batch(BatchSpec(), dispatch="batched", jobs=4)
+        with pytest.raises(EngineError):
+            run_batch(BatchSpec(), dispatch="batched", executor=SerialExecutor())
+
+    def test_cli_sweep_batched_with_jobs_errors(self, capsys):
+        code = cli_main(
+            ["sweep", "cycle", "--sizes", "5", "--dispatch", "batched", "--jobs", "2"]
+        )
+        assert code == 2
+        assert "in-process" in capsys.readouterr().err
+
+    def test_transform_backend_is_part_of_cache_key(self):
+        instance = small_family()[0]
+        jobs_auto = make_jobs_for_instance(instance, R_values=(3,), include_safe=False)
+        jobs_ref = make_jobs_for_instance(
+            instance, R_values=(3,), include_safe=False, transform_backend="reference"
+        )
+        version = registry.solver_version("local")
+        assert jobs_auto[0].cache_key(version) != jobs_ref[0].cache_key(version)
+
+    def test_execute_jobs_batched_mixed_algorithms(self):
+        instance = small_family()[0]
+        specs = make_jobs_for_instance(
+            instance, R_values=(2, 3), include_safe=True, include_optimum=True
+        )
+        batched = registry.execute_jobs_batched(specs)
+        per_job = [registry.execute_job(spec) for spec in specs]
+        assert batched == per_job
