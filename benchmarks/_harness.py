@@ -17,13 +17,36 @@ rather than silently producing a different table.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.reporting import format_markdown_table, format_table
 
 #: Where the regenerated tables are written.
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def write_bench_payload(
+    payload: Dict[str, object],
+    output: Union[str, Path],
+    *,
+    smoke: bool,
+    default_output: Union[str, Path],
+) -> Path:
+    """Write a benchmark's aggregate JSON and return the path written.
+
+    Smoke runs redirect the *default* output into ``results/smoke/`` (which
+    CI uploads as a workflow artifact) so they never clobber the committed
+    trajectory baseline; an explicitly requested ``--output`` path is always
+    honored, smoke or not.
+    """
+    output = Path(output)
+    if smoke and output == Path(default_output):
+        output = RESULTS_DIR / "smoke" / output.name
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return output
 
 
 def emit_table(

@@ -38,6 +38,7 @@ if str(BENCH_DIR) not in sys.path:  # allow `import _harness` when run as a scri
 
 from repro.algo.kernels import build_batched_trees
 from repro.algo.local_solver import SpecialFormLocalSolver
+from _harness import write_bench_payload
 from repro.analysis.reporting import format_table
 from repro.engine.cache import ResultCache
 from repro.engine.registry import solver_version
@@ -212,20 +213,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     ]
     correctness = [row for row in rows if float(row["max_abs_diff"]) > 1e-9]
 
-    if not args.smoke:
-        payload = {
-            "format": "bench-kernels-trajectory",
-            "version": 1,
-            "solver_version": solver_version("local"),
-            "R": args.R,
-            "seed": args.seed,
-            "min_speedup_at_floor": args.min_speedup,
-            "speedup_floor_n": args.speedup_floor_n,
-            "rows": rows,
-        }
-        output = Path(args.output)
-        output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-        print(f"\nwrote {len(rows)} rows to {output}")
+    payload = {
+        "format": "bench-kernels-trajectory",
+        "version": 1,
+        "solver_version": solver_version("local"),
+        "R": args.R,
+        "seed": args.seed,
+        "smoke": bool(args.smoke),
+        "min_speedup_at_floor": args.min_speedup,
+        "speedup_floor_n": args.speedup_floor_n,
+        "rows": rows,
+    }
+    output = write_bench_payload(
+        payload, args.output, smoke=args.smoke, default_output=DEFAULT_OUTPUT
+    )
+    print(f"\nwrote {len(rows)} rows to {output}")
 
     if correctness:
         print(f"FAIL: {len(correctness)} configuration(s) exceed 1e-9 output difference")

@@ -45,6 +45,7 @@ if str(BENCH_DIR) not in sys.path:  # allow `import _harness` when run as a scri
     sys.path.insert(0, str(BENCH_DIR))
 
 from repro.algo.safe_algorithm import safe_solution
+from _harness import write_bench_payload
 from repro.analysis.reporting import format_table
 from repro.distributed import DistributedLocalSolver, DistributedSafeSolver
 from repro.engine.cache import ResultCache
@@ -259,20 +260,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         if float(row["max_abs_diff_safe"]) > 0.0 or float(row["max_abs_diff_runtime"]) > 1e-9
     ]
 
-    if not args.smoke:
-        payload = {
-            "format": "bench-safe-e5-trajectory",
-            "version": 1,
-            "safe_version": solver_version("safe"),
-            "R": args.R,
-            "seed": args.seed,
-            "min_speedup_at_floor": args.min_speedup,
-            "speedup_floor_n": args.speedup_floor_n,
-            "rows": rows,
-        }
-        output = Path(args.output)
-        output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-        print(f"\nwrote {len(rows)} rows to {output}")
+    payload = {
+        "format": "bench-safe-e5-trajectory",
+        "version": 1,
+        "safe_version": solver_version("safe"),
+        "R": args.R,
+        "seed": args.seed,
+        "smoke": bool(args.smoke),
+        "min_speedup_at_floor": args.min_speedup,
+        "speedup_floor_n": args.speedup_floor_n,
+        "rows": rows,
+    }
+    output = write_bench_payload(
+        payload, args.output, smoke=args.smoke, default_output=DEFAULT_OUTPUT
+    )
+    print(f"\nwrote {len(rows)} rows to {output}")
 
     if correctness:
         print(f"FAIL: {len(correctness)} configuration(s) exceed the backend-agreement tolerance")

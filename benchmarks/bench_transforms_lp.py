@@ -44,6 +44,7 @@ BENCH_DIR = Path(__file__).resolve().parent
 if str(BENCH_DIR) not in sys.path:  # allow `import _harness` when run as a script
     sys.path.insert(0, str(BENCH_DIR))
 
+from _harness import write_bench_payload
 from repro.analysis.reporting import format_table
 from repro.core.preprocess import preprocess
 from repro.core.lp import solve_maxmin_lp
@@ -389,20 +390,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         and float(row["speedup"]) <= 1.0
     ]
 
-    if not args.smoke:
-        payload = {
-            "format": "bench-transforms-lp-trajectory",
-            "version": 1,
-            "local_version": solver_version("local"),
-            "lp_version": solver_version("lp-optimum"),
-            "seed": args.seed,
-            "min_speedup_at_floor": args.min_speedup,
-            "speedup_floor_n": args.speedup_floor_n,
-            "rows": rows,
-        }
-        output = Path(args.output)
-        output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-        print(f"\nwrote {len(rows)} rows to {output}")
+    payload = {
+        "format": "bench-transforms-lp-trajectory",
+        "version": 1,
+        "local_version": solver_version("local"),
+        "lp_version": solver_version("lp-optimum"),
+        "seed": args.seed,
+        "smoke": bool(args.smoke),
+        "min_speedup_at_floor": args.min_speedup,
+        "speedup_floor_n": args.speedup_floor_n,
+        "rows": rows,
+    }
+    output = write_bench_payload(
+        payload, args.output, smoke=args.smoke, default_output=DEFAULT_OUTPUT
+    )
+    print(f"\nwrote {len(rows)} rows to {output}")
 
     if correctness:
         print(f"FAIL: {len(correctness)} configuration(s) violate the equivalence contract")

@@ -157,6 +157,36 @@ class BatchedTrees:
             sigs.append(b"".join(chunks))
         return sigs
 
+    def grouping_keys(self) -> np.ndarray:
+        """Cheap per-tree keys that *refine* the signature partition — batched.
+
+        One ``(T, F)`` float matrix built from whole-level segmented
+        reductions: per level the tree's node count and the per-tree sums of
+        every array the byte signature encodes (capacities, child counts,
+        edge coefficients).  Trees with equal signatures have identical
+        per-level arrays, hence identical keys; trees with different keys are
+        therefore provably distinct.  :func:`batched_upper_bounds` uses this
+        to compute the O(T)-Python byte signatures only inside key-collision
+        groups — on coefficient-perturbed families (every tree distinct) the
+        whole dedup step collapses to these vectorized reductions.
+        """
+        T = self.num_trees
+        capacity = self.comp.capacity
+        cols: List[np.ndarray] = []
+        for level in self.levels:
+            tree_of_node = level.tree_of_node
+            cols.append(level.root_counts.astype(np.float64))
+            cols.append(np.bincount(tree_of_node, weights=capacity[level.nodes], minlength=T))
+            if level.child_indptr is not None:
+                child_counts = np.diff(level.child_indptr).astype(np.float64)
+                cols.append(np.bincount(tree_of_node, weights=child_counts, minlength=T))
+            if level.a_self is not None:
+                cols.append(np.bincount(tree_of_node, weights=level.a_self, minlength=T))
+                cols.append(np.bincount(tree_of_node, weights=level.a_partner, minlength=T))
+        if not cols:
+            return np.zeros((T, 0), dtype=np.float64)
+        return np.column_stack(cols)
+
     def select(self, tree_indices: np.ndarray) -> "BatchedTrees":
         """A new :class:`BatchedTrees` restricted to the given trees."""
         levels: List[TreeLevel] = []
@@ -275,17 +305,33 @@ def _recursion_margins(bt: BatchedTrees, omega: np.ndarray) -> np.ndarray:
     return np.minimum(min_fp, root_slack)
 
 
+#: Active-set compaction policy for :func:`_batched_bisection`: once the
+#: still-unconverged trees are at most this fraction of the current working
+#: set (and at least ``_COMPACT_MIN_DROP`` trees would be shed), the working
+#: set is physically compacted with :meth:`BatchedTrees.select` so each
+#: remaining ``f±`` sweep only touches live trees.  Converged trees would
+#: otherwise be swept until the *slowest* tree of the whole batch finishes —
+#: the reason stacked multi-instance dispatch used to lose at medium ``n``.
+_COMPACT_FRACTION = 0.5
+_COMPACT_MIN_DROP = 16
+
+
 def _batched_bisection(
     bt: BatchedTrees,
     tol: float,
     max_iterations: int,
+    *,
+    compact: bool = True,
 ) -> np.ndarray:
     """``t_u`` for every tree in the batch via simultaneous binary search.
 
     Vectorization of :func:`repro.algo.upper_bound.tree_optimum_binary_search`
     with per-tree ``lo``/``hi`` brackets: identical upper limit, identical
     per-tree stopping rule (``hi − lo ≤ tol`` or the iteration cap), one
-    shared ``f±`` sweep per iteration.
+    shared ``f±`` sweep per iteration.  With ``compact=True`` (default) the
+    working set shrinks mid-run (see :data:`_COMPACT_FRACTION`); each tree's
+    bisection trajectory is independent of its batch neighbours, so the
+    returned ``t`` is bitwise identical either way.
     """
     comp = bt.comp
     T = bt.num_trees
@@ -312,23 +358,45 @@ def _batched_bisection(
     t[positive & feasible_at_hi] = hi0[positive & feasible_at_hi]
 
     active = positive & ~feasible_at_hi
-    lo = np.zeros(T, dtype=np.float64)
-    hi = hi0.copy()
+    lo_full = np.zeros(T, dtype=np.float64)
+
+    # Working-set state: ``origin`` maps working positions back to batch
+    # positions; converged brackets are scattered into ``lo_full`` before any
+    # compaction drops them.
+    cur = bt
+    origin = np.arange(T, dtype=np.int64)
+    w_active = active.copy()
+    w_lo = np.zeros(T, dtype=np.float64)
+    w_hi = hi0.copy()
     iterations = 0
     while iterations < max_iterations:
-        active &= (hi - lo) > tol
-        if not active.any():
+        w_active &= (w_hi - w_lo) > tol
+        n_active = int(w_active.sum())
+        if n_active == 0:
             break
-        mid = 0.5 * (lo + hi)
-        feasible = _recursion_margins(bt, mid) >= 0.0
-        take = active & feasible
-        lo[take] = mid[take]
-        drop = active & ~feasible
-        hi[drop] = mid[drop]
+        if (
+            compact
+            and len(w_active) - n_active >= _COMPACT_MIN_DROP
+            and n_active <= _COMPACT_FRACTION * len(w_active)
+        ):
+            lo_full[origin] = w_lo
+            keep = np.flatnonzero(w_active)
+            cur = cur.select(keep)
+            origin = origin[keep]
+            w_lo = w_lo[keep]
+            w_hi = w_hi[keep]
+            w_active = np.ones(len(keep), dtype=bool)
+        mid = 0.5 * (w_lo + w_hi)
+        feasible = _recursion_margins(cur, mid) >= 0.0
+        take = w_active & feasible
+        w_lo[take] = mid[take]
+        drop = w_active & ~feasible
+        w_hi[drop] = mid[drop]
         iterations += 1
 
+    lo_full[origin] = w_lo
     bisected = positive & ~feasible_at_hi
-    t[bisected] = lo[bisected]
+    t[bisected] = lo_full[bisected]
     return t
 
 
@@ -347,6 +415,7 @@ def batched_upper_bounds(
     max_iterations: int = MAX_BISECTION_ITERATIONS,
     targets: Optional[np.ndarray] = None,
     deduplicate: bool = True,
+    compact: bool = True,
 ) -> np.ndarray:
     """``t_u`` per agent (positions ``targets``, default all) — batched.
 
@@ -355,6 +424,8 @@ def batched_upper_bounds(
     bisection for ``method="recursion"``, or via one exact tree-LP solve per
     representative for ``method="lp"`` (the LP itself is not vectorizable,
     but symmetric families still collapse to a handful of solves).
+    ``compact`` enables mid-bisection active-set compaction (bitwise-neutral;
+    see :func:`_batched_bisection`).
     """
     if method not in ("recursion", "lp"):
         raise ValueError(f"unknown t_u method {method!r} (expected 'recursion' or 'lp')")
@@ -363,16 +434,7 @@ def batched_upper_bounds(
         return np.zeros(0, dtype=np.float64)
 
     if deduplicate:
-        sigs = bt.signatures()
-        first_of: Dict[bytes, int] = {}
-        representatives: List[int] = []
-        group_of = np.empty(bt.num_trees, dtype=np.int64)
-        for t, sig in enumerate(sigs):
-            g = first_of.setdefault(sig, len(representatives))
-            if g == len(representatives):
-                representatives.append(t)
-            group_of[t] = g
-        rep_idx = np.asarray(representatives, dtype=np.int64)
+        rep_idx, group_of = _dedup_groups(bt)
     else:
         rep_idx = np.arange(bt.num_trees, dtype=np.int64)
         group_of = rep_idx
@@ -390,9 +452,55 @@ def batched_upper_bounds(
         )
     else:
         rep_bt = bt.select(rep_idx) if len(rep_idx) < bt.num_trees else bt
-        rep_t = _batched_bisection(rep_bt, tol, max_iterations)
+        rep_t = _batched_bisection(rep_bt, tol, max_iterations, compact=compact)
 
     return rep_t[group_of]
+
+
+def _dedup_groups(bt: BatchedTrees) -> Tuple[np.ndarray, np.ndarray]:
+    """``(representatives, group_of)`` for the canonical-signature dedup.
+
+    Identical partition to grouping by :meth:`BatchedTrees.signatures`
+    alone, computed cheaply: the vectorized grouping keys are mixed into one
+    64-bit hash per tree (equal signature ⇒ equal key ⇒ equal hash), and the
+    Python byte signatures are built only for trees whose hash collides with
+    another tree's — a hash collision between *different* trees merely costs
+    those trees a signature comparison, it can never merge them.  When every
+    hash is unique — the common case for coefficient-perturbed families at
+    medium ``n`` — no byte signature is ever materialised.
+    """
+    T = bt.num_trees
+    keys = bt.grouping_keys()
+    if keys.shape[1] == 0:
+        hashes = np.zeros(T, dtype=np.uint64)
+    else:
+        bits = np.ascontiguousarray(keys).view(np.uint64)
+        hashes = np.zeros(T, dtype=np.uint64)
+        prime = np.uint64(0x100000001B3)  # FNV-1a style mixing, wraparound intended
+        for j in range(bits.shape[1]):
+            hashes = hashes * prime + bits[:, j]
+    _, inverse, counts = np.unique(hashes, return_inverse=True, return_counts=True)
+    inverse = inverse.reshape(-1)
+    if int(counts.max()) == 1:
+        rep_idx = np.arange(T, dtype=np.int64)
+        return rep_idx, rep_idx
+
+    multi = np.flatnonzero(counts[inverse] > 1)
+    if len(multi) < T:
+        sig_of = dict(zip(multi.tolist(), bt.select(multi).signatures()))
+    else:
+        sig_of = dict(enumerate(bt.signatures()))
+    first_of: Dict[object, int] = {}
+    representatives: List[int] = []
+    group_of = np.empty(T, dtype=np.int64)
+    inv_list = inverse.tolist()
+    for t in range(T):
+        key = (inv_list[t], sig_of.get(t))
+        g = first_of.setdefault(key, len(representatives))
+        if g == len(representatives):
+            representatives.append(t)
+        group_of[t] = g
+    return np.asarray(representatives, dtype=np.int64), group_of
 
 
 def smooth_bounds_kernel(comp: CompiledInstance, t: np.ndarray, r: int) -> np.ndarray:

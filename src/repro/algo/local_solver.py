@@ -267,7 +267,7 @@ class SpecialFormLocalSolver:
             [dict(zip(agents, g_plus[d].tolist())) for d in range(r + 1)],
             [dict(zip(agents, g_minus[d].tolist())) for d in range(r + 1)],
         )
-        solution = Solution.from_agent_array(instance, x.tolist(), label=f"local-R{self.R}")
+        solution = Solution.from_agent_array(instance, x, label=f"local-R{self.R}")
         return SpecialFormSolveResult(
             solution=solution,
             upper_bounds=dict(zip(agents, t.tolist())),

@@ -96,7 +96,7 @@ def safe_solution(
             raise InvalidInstanceError(
                 f"agent {v!r} has no constraints; preprocess the instance before the safe algorithm"
             )
-        return Solution.from_agent_array(instance, x.tolist(), label=f"safe-{variant}")
+        return Solution.from_agent_array(instance, x, label=f"safe-{variant}")
 
     values: Dict[NodeId, float] = {}
     for v in instance.agents:

@@ -49,7 +49,13 @@ def evaluate_solution(
     guaranteed_ratio: Optional[float] = None,
     optimum: Optional[float] = None,
 ) -> Dict[str, object]:
-    """One flat record: feasibility, utility, measured ratio, guarantee."""
+    """One flat record: feasibility, utility, measured ratio, guarantee.
+
+    Evaluation runs on the solution's array backend: one CSR constraint-load
+    pass for the feasibility verdict and one objective pass for the utility,
+    both over the solution's cached dense value vector — each edge of the
+    instance is touched exactly once per record.
+    """
     if optimum is None:
         optimum = solve_maxmin_lp(instance).optimum
     utility = solution.utility()
@@ -60,7 +66,7 @@ def evaluate_solution(
         "num_agents": instance.num_agents,
         "delta_I": instance.delta_I,
         "delta_K": instance.delta_K,
-        "feasible": solution.is_feasible(),
+        "feasible": solution.check_feasibility().feasible,
         "optimum": optimum,
         "utility": utility,
         "measured_ratio": ratio,

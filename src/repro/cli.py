@@ -34,6 +34,7 @@ from .analysis.reporting import format_table
 from .analysis.sweeps import run_ratio_sweep_batch, worst_case_by
 from .core.instance import MaxMinInstance
 from .core.lp import solve_maxmin_lp
+from .core.preprocess import preprocess
 from .generators import (
     cycle_instance,
     objective_ring_instance,
@@ -310,6 +311,21 @@ def _info(args: argparse.Namespace) -> int:
         {"property": "0/1 coefficients", "value": instance.has_zero_one_coefficients()},
     ]
     rows.extend({"property": key, "value": value} for key, value in stats.items())
+    pre = preprocess(instance)
+    rows.append({"property": "preprocess: changed", "value": pre.changed})
+    if pre.changed:
+        rows.extend(
+            [
+                {"property": "preprocess: forced-zero agents", "value": len(pre.forced_zero_agents)},
+                {"property": "preprocess: unconstrained agents", "value": len(pre.unconstrained_agents)},
+                {"property": "preprocess: removed constraints", "value": len(pre.removed_constraints)},
+                {"property": "preprocess: removed objectives", "value": len(pre.removed_objectives)},
+            ]
+        )
+    if pre.optimum_is_zero:
+        rows.append({"property": "preprocess: optimum", "value": "zero"})
+    elif pre.optimum_is_unbounded:
+        rows.append({"property": "preprocess: optimum", "value": "unbounded"})
     print(format_table(rows, ["property", "value"], title=instance.name))
     return 0
 

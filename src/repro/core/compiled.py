@@ -191,6 +191,8 @@ class CompiledInstance:
         "_special",
         "_constraint_degrees",
         "_objective_degrees",
+        "_cagents_owner",
+        "_oagents_owner",
     )
 
     def __init__(self, instance: "MaxMinInstance") -> None:
@@ -228,6 +230,8 @@ class CompiledInstance:
         self._special = None
         self._constraint_degrees = None
         self._objective_degrees = None
+        self._cagents_owner = None
+        self._oagents_owner = None
 
     # ------------------------------------------------------------------
     @property
@@ -258,6 +262,51 @@ class CompiledInstance:
         if self._objective_degrees is None:
             self._objective_degrees = np.diff(self.oagents_indptr)
         return self._objective_degrees
+
+    @property
+    def cagents_owner(self) -> np.ndarray:
+        """Constraint position owning each ``cagents_*`` edge (repeat-encoded rows)."""
+        if self._cagents_owner is None:
+            self._cagents_owner = np.repeat(
+                np.arange(self.num_constraints, dtype=np.int64),
+                np.diff(self.cagents_indptr),
+            )
+        return self._cagents_owner
+
+    @property
+    def oagents_owner(self) -> np.ndarray:
+        """Objective position owning each ``oagents_*`` edge (repeat-encoded rows)."""
+        if self._oagents_owner is None:
+            self._oagents_owner = np.repeat(
+                np.arange(self.num_objectives, dtype=np.int64),
+                np.diff(self.oagents_indptr),
+            )
+        return self._oagents_owner
+
+    def constraint_loads(self, values: np.ndarray) -> np.ndarray:
+        """``Σ_{v ∈ V_i} a_iv x_v`` per constraint for a canonical-order vector.
+
+        Accumulates through :func:`numpy.bincount`, whose C loop adds strictly
+        in input (canonical adjacency) order — the per-constraint sums are
+        therefore *bitwise* identical to the reference implementation's
+        sequential Python summation (``np.add.reduceat`` would not be: its
+        inner reduction associates differently).  Empty rows yield 0.0,
+        matching ``sum(()) == 0``.
+        """
+        return np.bincount(
+            self.cagents_owner,
+            weights=self.cagents_coeff * values[self.cagents_indices],
+            minlength=self.num_constraints,
+        )
+
+    def objective_values(self, values: np.ndarray) -> np.ndarray:
+        """``ω_k(x) = Σ_{v ∈ V_k} c_kv x_v`` per objective — same bitwise
+        contract as :meth:`constraint_loads`."""
+        return np.bincount(
+            self.oagents_owner,
+            weights=self.oagents_coeff * values[self.oagents_indices],
+            minlength=self.num_objectives,
+        )
 
     def agent_constraint_min(self, edge_values: np.ndarray) -> np.ndarray:
         """``min_{i ∈ I_v} edge_values[e]`` per agent over its constraint edges.

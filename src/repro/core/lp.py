@@ -137,7 +137,7 @@ def _solve_clean(instance: MaxMinInstance, method: str) -> LPResult:
 
     omega = float(result.x[n])
     solution = Solution.from_agent_array(
-        instance, result.x[:n].tolist(), label="lp-optimum"
+        instance, result.x[:n], label="lp-optimum"
     ).clipped_nonnegative()
     return LPResult(omega, solution, "optimal")
 
@@ -223,7 +223,7 @@ def _solve_components(
     omegas = result.x[n:]
     optimum = float(omegas.min())
     solution = Solution.from_agent_array(
-        instance, result.x[:n].tolist(), label="lp-optimum"
+        instance, result.x[:n], label="lp-optimum"
     ).clipped_nonnegative()
     return LPResult(optimum, solution, "optimal")
 

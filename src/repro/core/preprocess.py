@@ -30,15 +30,33 @@ Notes on the individual cases
   the utility of the lifted solution (or any requested target).
 * Removal can cascade (an agent whose only objective was removed becomes
   non-contributing), so the cleanup iterates to a fixed point.
+
+Backends
+--------
+:func:`preprocess` takes ``backend="vectorized"`` (default) or
+``backend="reference"``.  The vectorized backend runs the fixed point as
+iterative degree-peeling over the compiled CSR arrays
+(:meth:`MaxMinInstance.compiled`): per-node *live-degree* counters, one
+:func:`numpy.flatnonzero` scan per phase and frontier updates via
+``np.bincount`` over the gathered adjacency rows of just-removed nodes.  Both
+backends produce identical removed sets, flags and lift behaviour (pinned by
+``tests/test_record_path.py``); the reference backend is the readable
+per-node oracle.  When nothing is removed, both backends return the original
+instance object itself as the cleaned instance, so downstream per-instance
+caches (``compiled()``, the §4 transform cache) stay warm across repeated
+solves.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from .._types import NodeId
 from ..exceptions import DegenerateInstanceError
+from .compiled import _segment_gather
 from .instance import MaxMinInstance
 from .solution import Solution
 
@@ -170,14 +188,56 @@ class PreprocessResult:
         )
 
 
-def preprocess(instance: MaxMinInstance) -> PreprocessResult:
-    """Remove degenerate structure from an instance (see module docstring)."""
+class _FixedPoint:
+    """Outcome of one backend's degenerate-structure fixed point.
+
+    ``agents`` / ``constraints`` / ``objectives`` are the *surviving* nodes
+    in canonical (declaration) order — ready to feed
+    :meth:`MaxMinInstance.sub_instance` directly.
+    """
+
+    __slots__ = (
+        "agents",
+        "constraints",
+        "objectives",
+        "forced_zero",
+        "unconstrained",
+        "removed_constraints",
+        "removed_objectives",
+        "optimum_is_zero",
+    )
+
+    def __init__(
+        self,
+        agents: Sequence[NodeId],
+        constraints: Sequence[NodeId],
+        objectives: Sequence[NodeId],
+        forced_zero: List[NodeId],
+        unconstrained: List[NodeId],
+        removed_constraints: List[NodeId],
+        removed_objectives: List[NodeId],
+        optimum_is_zero: bool,
+    ) -> None:
+        self.agents = agents
+        self.constraints = constraints
+        self.objectives = objectives
+        self.forced_zero = forced_zero
+        self.unconstrained = unconstrained
+        self.removed_constraints = removed_constraints
+        self.removed_objectives = removed_objectives
+        self.optimum_is_zero = optimum_is_zero
+
+
+def _reference_fixed_point(instance: MaxMinInstance) -> _FixedPoint:
+    """The original per-node fixed point (readable oracle)."""
     agents: Set[NodeId] = set(instance.agents)
     constraints: Set[NodeId] = set(instance.constraints)
     objectives: Set[NodeId] = set(instance.objectives)
 
     forced_zero: List[NodeId] = []
     unconstrained: List[NodeId] = []
+    forced_zero_set: Set[NodeId] = set()
+    unconstrained_set: Set[NodeId] = set()
     removed_constraints: List[NodeId] = []
     removed_objectives: List[NodeId] = []
     optimum_is_zero = False
@@ -205,6 +265,7 @@ def preprocess(instance: MaxMinInstance) -> PreprocessResult:
             if not live_constraints:
                 agents.discard(v)
                 unconstrained.append(v)
+                unconstrained_set.add(v)
                 for k in instance.objectives_of_agent(v):
                     if k in objectives:
                         objectives.discard(k)
@@ -224,10 +285,10 @@ def preprocess(instance: MaxMinInstance) -> PreprocessResult:
                     # All its agents were forced to zero: the objective value
                     # is stuck at 0, hence the optimum is 0.
                     survivors_were_zeroed = any(
-                        v in set(forced_zero) for v in instance.agents_of_objective(k)
+                        v in forced_zero_set for v in instance.agents_of_objective(k)
                     )
                     unconstrained_members = any(
-                        v in set(unconstrained) for v in instance.agents_of_objective(k)
+                        v in unconstrained_set for v in instance.agents_of_objective(k)
                     )
                     if survivors_were_zeroed and not unconstrained_members:
                         optimum_is_zero = True
@@ -241,27 +302,208 @@ def preprocess(instance: MaxMinInstance) -> PreprocessResult:
             if not live_objectives:
                 agents.discard(v)
                 forced_zero.append(v)
+                forced_zero_set.add(v)
                 changed = True
 
-    optimum_is_unbounded = not optimum_is_zero and not objectives and bool(instance.objectives)
+    return _FixedPoint(
+        [v for v in instance.agents if v in agents],
+        [i for i in instance.constraints if i in constraints],
+        [k for k in instance.objectives if k in objectives],
+        forced_zero,
+        unconstrained,
+        removed_constraints,
+        removed_objectives,
+        optimum_is_zero,
+    )
+
+
+def _row_members(indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Concatenated adjacency rows (``indices`` entries) of the given rows."""
+    counts = np.diff(indptr)[rows]
+    return indices[_segment_gather(indptr[rows], counts)]
+
+
+def _vectorized_fixed_point(instance: MaxMinInstance) -> _FixedPoint:
+    """Iterative degree-peeling over the compiled CSR arrays.
+
+    Mirrors the reference fixed point phase for phase: per-node *live degree*
+    counters start at the compiled degrees; each phase selects the depleted
+    nodes with one ``flatnonzero`` scan and pushes the removals to the
+    neighbouring counters with ``np.bincount`` over the gathered adjacency
+    rows of just-removed nodes (a csgraph-style frontier update).  Node
+    positions translate back to identifiers only once, at the end.
+    """
+    comp = instance.compiled()
+    n, m_con, m_obj = comp.num_agents, comp.num_constraints, comp.num_objectives
+
+    alive_agent = np.ones(n, dtype=bool)
+    alive_con = np.ones(m_con, dtype=bool)
+    alive_obj = np.ones(m_obj, dtype=bool)
+
+    # Live-degree counters: number of *alive* neighbours per node.
+    live_con_members = comp.constraint_degrees.copy()
+    live_obj_members = comp.objective_degrees.copy()
+    live_agent_cons = np.diff(comp.con_indptr).copy()
+    live_agent_objs = np.diff(comp.obj_indptr).copy()
+
+    forced_zero_mask = np.zeros(n, dtype=bool)
+    unconstrained_mask = np.zeros(n, dtype=bool)
+    forced_zero_rounds: List[np.ndarray] = []
+    unconstrained_rounds: List[np.ndarray] = []
+    removed_con_rounds: List[np.ndarray] = []
+    removed_obj_rounds: List[np.ndarray] = []
+
+    # Isolated objectives in the *original* instance force the optimum to 0.
+    optimum_is_zero = bool(m_obj) and bool((comp.objective_degrees == 0).any())
+
+    changed = True
+    while changed:
+        changed = False
+
+        # Phase 1 — constraints with no surviving agents.
+        dead_cons = np.flatnonzero(alive_con & (live_con_members == 0))
+        if len(dead_cons):
+            alive_con[dead_cons] = False
+            removed_con_rounds.append(dead_cons)
+            changed = True
+
+        # Phase 2 — unconstrained agents; their objectives never bind.
+        unc = np.flatnonzero(alive_agent & (live_agent_cons == 0))
+        if len(unc):
+            alive_agent[unc] = False
+            unconstrained_mask[unc] = True
+            unconstrained_rounds.append(unc)
+            touched_cons = _row_members(comp.con_indptr, comp.con_indices, unc)
+            if len(touched_cons):
+                live_con_members -= np.bincount(touched_cons, minlength=m_con)
+            touched_objs = _row_members(comp.obj_indptr, comp.obj_indices, unc)
+            dead_objs = np.unique(touched_objs[alive_obj[touched_objs]]) if len(touched_objs) else touched_objs
+            if len(dead_objs):
+                alive_obj[dead_objs] = False
+                removed_obj_rounds.append(dead_objs)
+                members = _row_members(comp.oagents_indptr, comp.oagents_indices, dead_objs)
+                if len(members):
+                    live_agent_objs -= np.bincount(members, minlength=n)
+            if len(touched_objs):
+                live_obj_members -= np.bincount(touched_objs, minlength=m_obj)
+            changed = True
+
+        # Phase 3 — objectives that lost all their agents.
+        dead_objs = np.flatnonzero(alive_obj & (live_obj_members == 0))
+        if len(dead_objs):
+            alive_obj[dead_objs] = False
+            removed_obj_rounds.append(dead_objs)
+            originally_empty = comp.objective_degrees[dead_objs] == 0
+            nonempty = dead_objs[~originally_empty]
+            if len(nonempty):
+                # All agents forced to zero (and none unconstrained) pins the
+                # objective — and hence the optimum — at 0.
+                counts = comp.objective_degrees[nonempty]
+                members = _row_members(comp.oagents_indptr, comp.oagents_indices, nonempty)
+                owner = np.repeat(np.arange(len(nonempty), dtype=np.int64), counts)
+                any_fz = np.bincount(owner, weights=forced_zero_mask[members].astype(np.float64), minlength=len(nonempty)) > 0
+                any_unc = np.bincount(owner, weights=unconstrained_mask[members].astype(np.float64), minlength=len(nonempty)) > 0
+                if bool((any_fz & ~any_unc).any()):
+                    optimum_is_zero = True
+                live_agent_objs -= np.bincount(members, minlength=n)
+            if bool(originally_empty.any()):
+                optimum_is_zero = True
+            changed = True
+
+        # Phase 4 — non-contributing agents: no surviving objective.
+        fz = np.flatnonzero(alive_agent & (live_agent_objs == 0))
+        if len(fz):
+            alive_agent[fz] = False
+            forced_zero_mask[fz] = True
+            forced_zero_rounds.append(fz)
+            touched_cons = _row_members(comp.con_indptr, comp.con_indices, fz)
+            if len(touched_cons):
+                live_con_members -= np.bincount(touched_cons, minlength=m_con)
+            touched_objs = _row_members(comp.obj_indptr, comp.obj_indices, fz)
+            if len(touched_objs):
+                live_obj_members -= np.bincount(touched_objs, minlength=m_obj)
+            changed = True
+
+    def _ids(rounds: List[np.ndarray], names) -> List[NodeId]:
+        return [names[p] for chunk in rounds for p in chunk.tolist()]
+
+    agent_ids = instance.agents
+    constraint_ids = instance.constraints
+    objective_ids = instance.objectives
+    if not (forced_zero_rounds or unconstrained_rounds or removed_con_rounds or removed_obj_rounds):
+        # Nothing removed: the survivors are everyone, no position decoding.
+        return _FixedPoint(
+            agent_ids, constraint_ids, objective_ids, [], [], [], [], optimum_is_zero
+        )
+    return _FixedPoint(
+        [agent_ids[p] for p in np.flatnonzero(alive_agent).tolist()],
+        [constraint_ids[p] for p in np.flatnonzero(alive_con).tolist()],
+        [objective_ids[p] for p in np.flatnonzero(alive_obj).tolist()],
+        _ids(forced_zero_rounds, agent_ids),
+        _ids(unconstrained_rounds, agent_ids),
+        _ids(removed_con_rounds, constraint_ids),
+        _ids(removed_obj_rounds, objective_ids),
+        optimum_is_zero,
+    )
+
+
+def preprocess(instance: MaxMinInstance, *, backend: str = "vectorized") -> PreprocessResult:
+    """Remove degenerate structure from an instance (see module docstring).
+
+    ``backend="vectorized"`` (default) runs the fixed point as degree-peeling
+    over the compiled CSR arrays; ``backend="reference"`` keeps the per-node
+    oracle.  Both produce identical removed sets, flags and lift behaviour.
+
+    The result is cached on the (immutable) instance per backend, like
+    :meth:`MaxMinInstance.compiled`: repeated solves of one instance clean it
+    once and share the same cleaned-instance object, keeping its compiled
+    view and §4 transform cache warm across an R-sweep.  Treat the result as
+    read-only.
+    """
+    cached = instance._preprocess_cache
+    if cached is not None and backend in cached:
+        return cached[backend]
+    if backend == "vectorized":
+        fp = _vectorized_fixed_point(instance)
+    elif backend == "reference":
+        fp = _reference_fixed_point(instance)
+    else:
+        raise ValueError(
+            f"unknown preprocess backend {backend!r} (expected 'vectorized' or 'reference')"
+        )
+
+    optimum_is_zero = fp.optimum_is_zero
+    optimum_is_unbounded = not optimum_is_zero and not fp.objectives and bool(instance.objectives)
     if not instance.objectives:
         # No objectives at all: the max-min value is vacuously unbounded.
         optimum_is_unbounded = True
 
-    cleaned = instance.sub_instance(
-        [v for v in instance.agents if v in agents],
-        [i for i in instance.constraints if i in constraints],
-        [k for k in instance.objectives if k in objectives],
-        name=f"{instance.name}#clean",
+    removed_anything = (
+        bool(fp.forced_zero)
+        or bool(fp.unconstrained)
+        or bool(fp.removed_constraints)
+        or bool(fp.removed_objectives)
     )
+    if removed_anything:
+        cleaned = instance.sub_instance(
+            fp.agents, fp.constraints, fp.objectives, name=f"{instance.name}#clean"
+        )
+    else:
+        # Nothing removed: hand back the original object so per-instance
+        # caches (compiled view, §4 transform results) survive preprocessing.
+        cleaned = instance
 
-    return PreprocessResult(
+    result = PreprocessResult(
         original=instance,
         instance=cleaned,
-        forced_zero_agents=tuple(forced_zero),
-        unconstrained_agents=tuple(unconstrained),
-        removed_constraints=tuple(removed_constraints),
-        removed_objectives=tuple(removed_objectives),
+        forced_zero_agents=tuple(fp.forced_zero),
+        unconstrained_agents=tuple(fp.unconstrained),
+        removed_constraints=tuple(fp.removed_constraints),
+        removed_objectives=tuple(fp.removed_objectives),
         optimum_is_zero=optimum_is_zero,
         optimum_is_unbounded=optimum_is_unbounded,
     )
+    if instance._preprocess_cache is None:
+        instance._preprocess_cache = {}
+    instance._preprocess_cache[backend] = result
+    return result

@@ -4,6 +4,24 @@ A solution of a max-min LP is a non-negative vector ``x`` indexed by agents.
 Its *utility* is ``ω(x) = min_k Σ_{v ∈ V_k} c_kv x_v``; it is *feasible* when
 ``Σ_{v ∈ V_i} a_iv x_v ≤ 1`` for every constraint ``i`` (up to a tolerance,
 since the algorithms work in floating point).
+
+Evaluation backends
+-------------------
+The whole-solution evaluators (:meth:`Solution.utility`,
+:meth:`Solution.objective_values`, :meth:`Solution.check_feasibility`,
+:meth:`Solution.bottleneck_objectives`) take ``backend="array"`` (default) or
+``backend="dict"``.  The array backend caches a dense value vector aligned
+with the instance's canonical agent order (free when the solution was built
+by :meth:`Solution.from_agent_array`, one gather otherwise) and evaluates
+every constraint / objective in one CSR pass over the compiled instance
+(:meth:`~repro.core.compiled.CompiledInstance.constraint_loads` /
+``objective_values``).  Loads and utilities are *bitwise* identical to the
+dict backend — the CSR accumulation adds in the same canonical adjacency
+order as the reference loops — which the equivalence tests in
+``tests/test_record_path.py`` pin.  The load and objective vectors are cached
+on the solution, so e.g. ``utility()`` followed by ``bottleneck_objectives()``
+or repeated feasibility checks evaluate each edge exactly once.  The dict
+backend is the readable per-node oracle.
 """
 
 from __future__ import annotations
@@ -11,9 +29,16 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
+import numpy as np
+
 from .._types import DEFAULT_FEASIBILITY_TOL, NodeId, ValueMap
 from ..exceptions import InfeasibleSolutionError, InvalidInstanceError
 from .instance import MaxMinInstance
+
+
+def _require_backend(backend: str) -> None:
+    if backend not in ("array", "dict"):
+        raise ValueError(f"unknown evaluation backend {backend!r} (expected 'array' or 'dict')")
 
 __all__ = ["Solution", "FeasibilityReport"]
 
@@ -85,7 +110,7 @@ class Solution:
         all-zero solution.
     """
 
-    __slots__ = ("instance", "_values", "label")
+    __slots__ = ("instance", "_values", "label", "_dense", "_loads", "_objvals")
 
     def __init__(
         self,
@@ -97,6 +122,9 @@ class Solution:
     ) -> None:
         self.instance = instance
         self.label = label
+        self._dense = None
+        self._loads = None
+        self._objvals = None
         vals: Dict[NodeId, float] = {v: float(x) for v, x in values.items()}
         if vals and not instance.agent_set.issuperset(vals):
             unknown = next(v for v in vals if not instance.has_agent(v))
@@ -119,21 +147,28 @@ class Solution:
         """Trusted fast path for compiled backends.
 
         ``values`` must hold one value per agent in the instance's canonical
-        agent order (e.g. an output vector of the CSR kernels, via
-        ``.tolist()``).  Skips the per-item membership validation of the
-        regular constructor — alignment is guaranteed by construction on the
-        compiled paths — but still verifies the length.
+        agent order (e.g. an output vector of the CSR kernels).  Skips the
+        per-item membership validation of the regular constructor —
+        alignment is guaranteed by construction on the compiled paths — but
+        still verifies the length.  The vector is kept as the solution's
+        dense evaluation cache, so array-backend evaluation starts without a
+        gather.
         """
-        floats = [float(x) for x in values]
-        if len(floats) != instance.num_agents:
+        if not isinstance(values, np.ndarray):
+            values = list(values)
+        dense = np.array(values, dtype=np.float64)
+        if dense.ndim != 1 or len(dense) != instance.num_agents:
             raise InvalidInstanceError(
-                f"solution {label!r} got {len(floats)} values for "
+                f"solution {label!r} got {len(dense)} values for "
                 f"{instance.num_agents} agents"
             )
         solution = cls.__new__(cls)
         solution.instance = instance
         solution.label = label
-        solution._values = dict(zip(instance.agents, floats))
+        solution._values = dict(zip(instance.agents, dense.tolist()))
+        solution._dense = dense
+        solution._loads = None
+        solution._objvals = None
         return solution
 
     # ------------------------------------------------------------------
@@ -158,6 +193,31 @@ class Solution:
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
+    def value_array(self) -> np.ndarray:
+        """Dense value vector in the instance's canonical agent order.
+
+        Built once (one gather over the value dict — or inherited for free
+        from :meth:`from_agent_array`) and cached; treat it as read-only.
+        """
+        if self._dense is None:
+            vals = self._values
+            self._dense = np.asarray(
+                [vals[v] for v in self.instance.agents], dtype=np.float64
+            )
+        return self._dense
+
+    def constraint_loads(self) -> np.ndarray:
+        """All constraint loads in canonical constraint order (cached CSR pass)."""
+        if self._loads is None:
+            self._loads = self.instance.compiled().constraint_loads(self.value_array())
+        return self._loads
+
+    def objective_value_array(self) -> np.ndarray:
+        """All objective values in canonical objective order (cached CSR pass)."""
+        if self._objvals is None:
+            self._objvals = self.instance.compiled().objective_values(self.value_array())
+        return self._objvals
+
     def constraint_load(self, i: NodeId) -> float:
         """``Σ_{v ∈ V_i} a_iv x_v`` for constraint ``i``."""
         inst = self.instance
@@ -172,48 +232,90 @@ class Solution:
         inst = self.instance
         return sum(inst.c(k, v) * self._values[v] for v in inst.agents_of_objective(k))
 
-    def objective_values(self) -> Dict[NodeId, float]:
+    def objective_values(self, *, backend: str = "array") -> Dict[NodeId, float]:
         """All objective values keyed by objective id."""
+        _require_backend(backend)
+        if backend == "array":
+            return dict(zip(self.instance.objectives, self.objective_value_array().tolist()))
         return {k: self.objective_value(k) for k in self.instance.objectives}
 
-    def utility(self) -> float:
+    def utility(self, *, backend: str = "array") -> float:
         """``ω(x) = min_k ω_k(x)``; ``inf`` when the instance has no objective."""
+        _require_backend(backend)
         if not self.instance.objectives:
             return math.inf
+        if backend == "array":
+            return float(self.objective_value_array().min())
         return min(self.objective_value(k) for k in self.instance.objectives)
 
-    def bottleneck_objectives(self, tol: float = 1e-9) -> Tuple[NodeId, ...]:
-        """The objectives attaining the minimum utility (within ``tol``)."""
+    def bottleneck_objectives(
+        self, tol: float = 1e-9, *, backend: str = "array"
+    ) -> Tuple[NodeId, ...]:
+        """The objectives attaining the minimum utility (within ``tol``).
+
+        Shares the cached objective-value pass with :meth:`utility` on the
+        array backend, so calling both evaluates each objective edge once.
+        """
+        _require_backend(backend)
         if not self.instance.objectives:
             return ()
-        vals = self.objective_values()
+        if backend == "array":
+            vals_arr = self.objective_value_array()
+            best_val = vals_arr.min()
+            hits = np.flatnonzero(vals_arr <= best_val + tol)
+            objectives = self.instance.objectives
+            return tuple(objectives[int(j)] for j in hits)
+        vals = self.objective_values(backend="dict")
         best = min(vals.values())
         return tuple(k for k, val in vals.items() if val <= best + tol)
 
-    def check_feasibility(self, tol: float = DEFAULT_FEASIBILITY_TOL) -> FeasibilityReport:
-        """Check non-negativity and every packing constraint."""
-        violated = []
-        max_violation = 0.0
-        for i in self.instance.constraints:
-            load = self.constraint_load(i)
-            if load > 1.0 + tol:
-                violated.append((i, load))
-                max_violation = max(max_violation, load - 1.0)
-        negative = tuple(
-            (v, x) for v, x in self._values.items() if x < -tol
-        )
+    def check_feasibility(
+        self, tol: float = DEFAULT_FEASIBILITY_TOL, *, backend: str = "array"
+    ) -> FeasibilityReport:
+        """Check non-negativity and every packing constraint.
+
+        The array backend reuses the cached load vector, so repeated checks
+        (or a check following :meth:`constraint_loads`) cost one CSR pass in
+        total.  Violated constraints are reported in canonical constraint
+        order on both backends; negative agents come out in canonical agent
+        order on the array backend (value-dict insertion order on the dict
+        backend).
+        """
+        _require_backend(backend)
+        if backend == "array":
+            loads = self.constraint_loads()
+            dense = self.value_array()
+            viol_idx = np.flatnonzero(loads > 1.0 + tol)
+            constraints = self.instance.constraints
+            violated = tuple(
+                (constraints[int(j)], float(loads[j])) for j in viol_idx
+            )
+            max_violation = float((loads[viol_idx] - 1.0).max()) if len(viol_idx) else 0.0
+            neg_idx = np.flatnonzero(dense < -tol)
+            agents = self.instance.agents
+            negative = tuple((agents[int(j)], float(dense[j])) for j in neg_idx)
+        else:
+            violated_list = []
+            max_violation = 0.0
+            for i in self.instance.constraints:
+                load = self.constraint_load(i)
+                if load > 1.0 + tol:
+                    violated_list.append((i, load))
+                    max_violation = max(max_violation, load - 1.0)
+            violated = tuple(violated_list)
+            negative = tuple((v, x) for v, x in self._values.items() if x < -tol)
         feasible = not violated and not negative
         return FeasibilityReport(
             feasible=feasible,
             max_violation=max_violation,
-            violated_constraints=tuple(violated),
+            violated_constraints=violated,
             negative_agents=negative,
             tol=tol,
         )
 
-    def is_feasible(self, tol: float = DEFAULT_FEASIBILITY_TOL) -> bool:
+    def is_feasible(self, tol: float = DEFAULT_FEASIBILITY_TOL, *, backend: str = "array") -> bool:
         """Shorthand for ``check_feasibility(tol).feasible``."""
-        return self.check_feasibility(tol).feasible
+        return self.check_feasibility(tol, backend=backend).feasible
 
     def require_feasible(self, tol: float = DEFAULT_FEASIBILITY_TOL) -> "Solution":
         """Raise :class:`InfeasibleSolutionError` unless feasible; returns self."""

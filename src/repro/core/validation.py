@@ -108,12 +108,18 @@ def require_nondegenerate(instance: MaxMinInstance) -> None:
 
 
 def require_special_form(instance: MaxMinInstance, tol: float = 1e-12) -> None:
-    """Raise :class:`NotSpecialFormError` unless the §5 preconditions hold."""
+    """Raise :class:`NotSpecialFormError` unless the §5 preconditions hold.
+
+    The happy path is one whole-array degree check
+    (:meth:`MaxMinInstance.is_special_form`); the per-node violation report
+    is only built when the check fails.
+    """
+    if instance.is_special_form(tol):
+        return
     problems = instance.special_form_violations(tol)
-    if problems:
-        raise NotSpecialFormError(
-            f"instance {instance.name!r} is not in special form:\n  - " + "\n  - ".join(problems[:20])
-        )
+    raise NotSpecialFormError(
+        f"instance {instance.name!r} is not in special form:\n  - " + "\n  - ".join(problems[:20])
+    )
 
 
 def check_degree_bounds(instance: MaxMinInstance, delta_I: int, delta_K: int) -> bool:

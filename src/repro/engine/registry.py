@@ -15,6 +15,14 @@ sibling jobs of one instance pay for it once per worker, matching the cost
 profile of the legacy loop.  The LP solve is deterministic, so memoised or
 not, an instance's jobs report bit-identical ``optimum`` fields.
 
+The memo also scopes the *instance-attached* caches: the compiled CSR view
+and the §4 transform results (``to_special_form``) live on the
+:class:`MaxMinInstance` object itself, keyed per ``(backend, verify)``.
+Because the memo hands out exactly one instance object per instance-JSON
+string — and the cache key starts from the JSON's content digest — sibling
+jobs of one instance (an R-sweep, say) reuse one pipeline run, while jobs of
+different digests can never observe each other's cached transforms.
+
 ``SOLVER_VERSIONS`` feeds the result cache: a cache entry is keyed by the
 version of the algorithm that produced it, so bumping a version here (or in
 a future PR that changes an algorithm's output) invalidates exactly the

@@ -84,17 +84,40 @@ def to_special_form(
         object-graph transformations one by one and composes their closures
         (the readable oracle the equivalence property tests pin the compiled
         path against).
-    """
-    if backend == "vectorized":
-        from .vectorized import vectorized_to_special_form
 
-        return vectorized_to_special_form(instance, verify=verify, name=name)
-    if backend != "reference":
+    Results for the default ``name`` are cached on the (immutable) instance
+    per ``(backend, verify)`` key, exactly like
+    :meth:`~repro.core.instance.MaxMinInstance.compiled`: a sweep that
+    revisits the same instance across R values runs the §4 pipeline once.
+    The cache lives on the instance object itself, so it can never leak
+    across instances (the engine's per-process memo hands out one instance
+    object per content digest — see :mod:`repro.engine.registry`).
+    """
+    if backend not in ("vectorized", "reference"):
         raise ValueError(
             f"unknown transform backend {backend!r} (expected 'vectorized' or 'reference')"
         )
-    require_nondegenerate(instance)
-    result = apply_chain(instance, canonical_transforms(), name=name or "to-special-form (§4)")
-    if verify:
-        require_special_form(result.transformed)
+
+    cache_key = (backend, bool(verify))
+    if name is None:
+        cached = instance._transform_cache
+        if cached is not None and cache_key in cached:
+            return cached[cache_key]
+
+    if backend == "vectorized":
+        from .vectorized import vectorized_to_special_form
+
+        result = vectorized_to_special_form(instance, verify=verify, name=name)
+    else:
+        require_nondegenerate(instance)
+        result = apply_chain(
+            instance, canonical_transforms(), name=name or "to-special-form (§4)"
+        )
+        if verify:
+            require_special_form(result.transformed)
+
+    if name is None:
+        if instance._transform_cache is None:
+            instance._transform_cache = {}
+        instance._transform_cache[cache_key] = result
     return result

@@ -778,7 +778,7 @@ def vectorized_to_special_form(
         else:
             mapped = np.zeros(0, dtype=np.float64)
         return Solution.from_agent_array(
-            original, mapped.tolist(), label=f"{solution.label}{suffix_chain}"
+            original, mapped, label=f"{solution.label}{suffix_chain}"
         )
 
     metadata: Dict[str, object] = {

@@ -1,0 +1,369 @@
+"""Equivalence suite for the compiled record path (PR 5).
+
+Pins the contracts of the vectorized evaluation-and-preparation layer:
+
+* ``preprocess(backend="vectorized")`` produces identical removed sets,
+  flags, cleaned instances and lift behaviour to the reference fixed point —
+  over the shared generator families, hand-built degenerate instances,
+  empty instances and hypothesis-generated random (possibly degenerate)
+  instances;
+* array-backed :class:`~repro.core.solution.Solution` evaluation is
+  *bitwise* identical to the dict oracle (loads, utilities, objective
+  values) with identical feasibility verdicts, and the cached passes are
+  shared (utility + bottleneck = one objective pass, repeated feasibility
+  checks = one load pass);
+* §4 transform results are cached on the instance per ``(backend, verify)``
+  key — an R-sweep over one instance runs the pipeline exactly once, and
+  cached transforms never leak across content digests in the engine;
+* mid-bisection active-set compaction is bitwise-neutral.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.transforms.vectorized as vectorized_mod
+from repro.algo.kernels import _COMPACT_MIN_DROP, batched_upper_bounds
+from repro.analysis.ratios import compare_algorithms
+from repro.core.builder import InstanceBuilder
+from repro.core.compiled import stack_compiled
+from repro.core.instance import MaxMinInstance
+from repro.core.preprocess import preprocess
+from repro.core.solution import Solution
+from repro.generators import cycle_instance, random_special_form_instance
+from repro.transforms.pipeline import to_special_form
+
+from conftest import (
+    build_degenerate_instance,
+    build_general_instance,
+    build_tiny_instance,
+    general_family,
+    special_form_family,
+)
+
+# ----------------------------------------------------------------------
+# Strategies: random instances where every kind of degeneracy can occur.
+# ----------------------------------------------------------------------
+
+coefficients = st.floats(min_value=0.1, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def possibly_degenerate_instances(draw, max_agents: int = 8):
+    """Instances with arbitrary (possibly empty) rows and columns."""
+    n = draw(st.integers(min_value=0, max_value=max_agents))
+    m_con = draw(st.integers(min_value=0, max_value=max_agents))
+    m_obj = draw(st.integers(min_value=0, max_value=max_agents))
+    agents = [f"v{j}" for j in range(n)]
+    constraints = [f"i{j}" for j in range(m_con)]
+    objectives = [f"k{j}" for j in range(m_obj)]
+    a = {}
+    c = {}
+    if agents:
+        for i in constraints:
+            members = draw(st.lists(st.sampled_from(agents), max_size=3, unique=True))
+            for v in members:
+                a[(i, v)] = draw(coefficients)
+        for k in objectives:
+            members = draw(st.lists(st.sampled_from(agents), max_size=3, unique=True))
+            for v in members:
+                c[(k, v)] = draw(coefficients)
+    return MaxMinInstance(agents, constraints, objectives, a, c, name="hyp-degenerate")
+
+
+def fixed_instances():
+    return (
+        general_family()
+        + special_form_family()
+        + [
+            build_tiny_instance(),
+            build_general_instance(),
+            build_degenerate_instance(),
+            MaxMinInstance([], [], [], {}, {}, name="empty"),
+            MaxMinInstance(["a"], [], ["k"], {}, {("k", "a"): 1.0}, name="unbounded"),
+            MaxMinInstance(["a"], ["i"], [], {("i", "a"): 1.0}, {}, name="no-objectives"),
+        ]
+    )
+
+
+def assert_preprocess_equivalent(instance: MaxMinInstance) -> None:
+    ref = preprocess(instance, backend="reference")
+    vec = preprocess(instance, backend="vectorized")
+    assert set(ref.forced_zero_agents) == set(vec.forced_zero_agents)
+    assert set(ref.unconstrained_agents) == set(vec.unconstrained_agents)
+    assert set(ref.removed_constraints) == set(vec.removed_constraints)
+    assert set(ref.removed_objectives) == set(vec.removed_objectives)
+    assert ref.optimum_is_zero == vec.optimum_is_zero
+    assert ref.optimum_is_unbounded == vec.optimum_is_unbounded
+    assert ref.changed == vec.changed
+    assert ref.instance == vec.instance
+    # Lift behaviour: the same inner solution lifts to the same values.
+    if not ref.optimum_is_zero and ref.instance.num_agents:
+        inner_values = {
+            v: 0.1 * (idx + 1) for idx, v in enumerate(ref.instance.agents)
+        }
+        lifted_ref = ref.lift(Solution(ref.instance, inner_values))
+        lifted_vec = vec.lift(Solution(vec.instance, inner_values))
+        assert lifted_ref.as_dict() == lifted_vec.as_dict()
+
+
+class TestVectorizedPreprocess:
+    @pytest.mark.parametrize(
+        "instance", fixed_instances(), ids=lambda inst: inst.name
+    )
+    def test_backend_equivalence_families(self, instance):
+        assert_preprocess_equivalent(instance)
+
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(instance=possibly_degenerate_instances())
+    def test_backend_equivalence_hypothesis(self, instance):
+        assert_preprocess_equivalent(instance)
+
+    def test_unknown_backend_rejected(self, tiny_instance):
+        with pytest.raises(ValueError):
+            preprocess(tiny_instance, backend="nope")
+
+    def test_unchanged_instance_returned_as_is(self, tiny_instance):
+        for backend in ("vectorized", "reference"):
+            pre = preprocess(tiny_instance, backend=backend)
+            assert not pre.changed
+            assert pre.instance is tiny_instance
+
+    def test_degenerate_instance_cleaned(self, degenerate_instance):
+        pre = preprocess(degenerate_instance)
+        assert pre.changed
+        assert not pre.instance.is_degenerate()
+        assert pre.optimum_is_zero
+        assert "i_isolated" in pre.removed_constraints
+        assert "c" in pre.forced_zero_agents
+        assert "d" in pre.unconstrained_agents
+        assert "k_unc" in pre.removed_objectives
+
+    def test_cascading_removal_vectorized(self):
+        builder = InstanceBuilder("cascade")
+        builder.add_constraint_term("i", "a", 1.0)
+        builder.add_objective_term("k1", "a", 1.0)
+        builder.add_constraint_term("ib", "b", 1.0)
+        builder.add_objective_term("k2", "b", 1.0)
+        builder.add_objective_term("k2", "free", 1.0)
+        pre = preprocess(builder.build(), backend="vectorized")
+        assert "free" in pre.unconstrained_agents
+        assert "b" in pre.forced_zero_agents
+        assert "ib" in pre.removed_constraints
+        assert not pre.instance.is_degenerate()
+
+
+class TestArrayBackedSolution:
+    @pytest.mark.parametrize(
+        "instance", fixed_instances(), ids=lambda inst: inst.name
+    )
+    def test_bitwise_family_equivalence(self, instance):
+        rng = np.random.default_rng(hash(instance.name) % (2**32))
+        values = {v: float(rng.uniform(-0.2, 1.5)) for v in instance.agents}
+        arr_sol = Solution(instance, values)
+        dict_sol = Solution(instance, values)
+        self._assert_bitwise(instance, arr_sol, dict_sol)
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(instance=possibly_degenerate_instances(), seed=st.integers(0, 2**16))
+    def test_bitwise_hypothesis(self, instance, seed):
+        rng = np.random.default_rng(seed)
+        values = {v: float(rng.uniform(-0.2, 1.5)) for v in instance.agents}
+        self._assert_bitwise(instance, Solution(instance, values), Solution(instance, values))
+
+    @staticmethod
+    def _assert_bitwise(instance, arr_sol, dict_sol):
+        # Loads: bitwise per constraint.
+        loads = arr_sol.constraint_loads()
+        assert len(loads) == instance.num_constraints
+        for j, i in enumerate(instance.constraints):
+            assert loads[j] == dict_sol.constraint_load(i)
+        # Objective values and utility: bitwise.
+        assert arr_sol.objective_values() == dict_sol.objective_values(backend="dict")
+        assert arr_sol.utility() == dict_sol.utility(backend="dict")
+        # Feasibility: identical verdicts, violations and max violation.
+        for tol in (1e-9, 0.0, 0.5):
+            ra = arr_sol.check_feasibility(tol)
+            rd = dict_sol.check_feasibility(tol, backend="dict")
+            assert ra.feasible == rd.feasible
+            assert ra.max_violation == rd.max_violation
+            assert set(ra.violated_constraints) == set(rd.violated_constraints)
+            assert set(ra.negative_agents) == set(rd.negative_agents)
+        # Bottlenecks: identical (both in canonical objective order).
+        assert arr_sol.bottleneck_objectives() == dict_sol.bottleneck_objectives(backend="dict")
+
+    def test_empty_instance(self):
+        inst = MaxMinInstance([], [], [], {}, {}, name="empty")
+        sol = Solution(inst, {})
+        assert sol.utility() == math.inf
+        assert sol.is_feasible()
+        assert sol.bottleneck_objectives() == ()
+        assert len(sol.constraint_loads()) == 0
+
+    def test_from_agent_array_seeds_dense_cache(self, tiny_instance):
+        x = np.array([0.5, 0.25])
+        sol = Solution.from_agent_array(tiny_instance, x, label="arr")
+        dense = sol.value_array()
+        assert np.array_equal(dense, x)
+        assert dense is not x  # decoupled copy
+        assert sol.utility() == 0.75
+
+    def test_utility_and_bottleneck_share_one_objective_pass(self, general_instance, monkeypatch):
+        from repro.core.compiled import CompiledInstance
+
+        calls = []
+        real = CompiledInstance.objective_values
+
+        def counting(self, values):
+            calls.append(1)
+            return real(self, values)
+
+        monkeypatch.setattr(CompiledInstance, "objective_values", counting)
+        sol = Solution(general_instance, {v: 0.1 for v in general_instance.agents})
+        sol.utility()
+        sol.bottleneck_objectives()
+        sol.objective_values()
+        assert len(calls) == 1
+
+    def test_feasibility_checks_share_one_load_pass(self, general_instance, monkeypatch):
+        from repro.core.compiled import CompiledInstance
+
+        calls = []
+        real = CompiledInstance.constraint_loads
+
+        def counting(self, values):
+            calls.append(1)
+            return real(self, values)
+
+        monkeypatch.setattr(CompiledInstance, "constraint_loads", counting)
+        sol = Solution(general_instance, {v: 0.1 for v in general_instance.agents})
+        sol.is_feasible()
+        sol.check_feasibility(1e-6)
+        sol.constraint_loads()
+        assert len(calls) == 1
+
+    def test_unknown_backend_rejected(self, tiny_instance):
+        sol = Solution(tiny_instance, {"a": 0.1, "b": 0.1})
+        with pytest.raises(ValueError):
+            sol.utility(backend="nope")
+
+
+def _count_pipeline_runs(monkeypatch):
+    """Spy on the vectorized §4 pipeline entry point; returns the call list."""
+    calls = []
+    real = vectorized_mod.vectorized_to_special_form
+
+    def counting(instance, **kwargs):
+        calls.append(instance)
+        return real(instance, **kwargs)
+
+    monkeypatch.setattr(vectorized_mod, "vectorized_to_special_form", counting)
+    return calls
+
+
+class TestTransformCache:
+    def test_repeated_calls_hit_cache(self, monkeypatch, general_instance):
+        calls = _count_pipeline_runs(monkeypatch)
+        first = to_special_form(general_instance)
+        second = to_special_form(general_instance)
+        assert first is second
+        assert len(calls) == 1
+
+    def test_cache_keyed_per_backend_and_verify(self, general_instance):
+        a = to_special_form(general_instance, backend="vectorized", verify=True)
+        b = to_special_form(general_instance, backend="vectorized", verify=False)
+        c = to_special_form(general_instance, backend="reference", verify=True)
+        assert a is not b and a is not c
+        assert a is to_special_form(general_instance, backend="vectorized", verify=True)
+        assert c is to_special_form(general_instance, backend="reference", verify=True)
+
+    def test_named_results_are_not_cached(self, general_instance):
+        a = to_special_form(general_instance, name="custom")
+        b = to_special_form(general_instance, name="custom")
+        assert a is not b
+        # ... and they do not pollute the default-key cache.
+        c = to_special_form(general_instance)
+        assert c is not a and c is not b
+
+    def test_r_sweep_runs_pipeline_once(self, monkeypatch):
+        """The acceptance criterion: zero §4 re-runs across a warm R-sweep."""
+        instance = build_general_instance()
+        assert not preprocess(instance).changed  # cache must live on `instance`
+        calls = _count_pipeline_runs(monkeypatch)
+        rows = compare_algorithms(
+            instance, R_values=(2, 3, 4), include_safe=False
+        )
+        assert len(rows) == 3
+        assert len(calls) == 1
+
+    def test_no_leak_across_digests_in_engine(self, monkeypatch):
+        """One pipeline run per content digest: sibling R-jobs of one digest
+        share a run, distinct digests never share a cached transform."""
+        from repro.engine.job import make_jobs_for_instance
+        from repro.engine.registry import _instance_and_lp, execute_job
+        from repro.generators import random_instance
+
+        calls = _count_pipeline_runs(monkeypatch)
+        _instance_and_lp.cache_clear()
+        inst_a = build_general_instance()
+        inst_b = random_instance(
+            12, delta_I=3, delta_K=2, extra_constraints=2, extra_objectives=1, seed=5
+        )
+        jobs = make_jobs_for_instance(
+            inst_a, R_values=(2, 3), include_safe=False
+        ) + make_jobs_for_instance(inst_b, R_values=(2, 3), include_safe=False)
+        for job in jobs:
+            execute_job(job)
+        # Two digests, four local jobs -> exactly two pipeline runs, on two
+        # distinct (per-digest) instance objects.
+        assert len(calls) == 2
+        assert calls[0] is not calls[1]
+        _instance_and_lp.cache_clear()
+
+
+class TestBisectionCompaction:
+    def _stacked(self):
+        parts = [
+            cycle_instance(30, coefficient_range=(0.5, 2.0), seed=s) for s in range(3)
+        ] + [random_special_form_instance(24, delta_K=3, constraint_rounds=2, seed=8)]
+        return stack_compiled([inst.compiled() for inst in parts])
+
+    @pytest.mark.parametrize("r", [0, 1, 2])
+    def test_compaction_is_bitwise_neutral(self, r):
+        stacked = self._stacked()
+        plain = batched_upper_bounds(stacked, r, compact=False)
+        compacted = batched_upper_bounds(stacked, r, compact=True)
+        assert np.array_equal(plain, compacted)
+
+    @pytest.mark.parametrize("r", [0, 1])
+    def test_forced_compaction_is_bitwise_neutral(self, r, monkeypatch):
+        """Drop the compaction floor so the path actually triggers."""
+        import repro.algo.kernels as kernels_mod
+
+        stacked = self._stacked()
+        plain = batched_upper_bounds(stacked, r, compact=False, deduplicate=False)
+        monkeypatch.setattr(kernels_mod, "_COMPACT_MIN_DROP", 1)
+        monkeypatch.setattr(kernels_mod, "_COMPACT_FRACTION", 0.99)
+        compacted = batched_upper_bounds(stacked, r, compact=True, deduplicate=False)
+        assert np.array_equal(plain, compacted)
+
+    def test_min_drop_floor_is_sane(self):
+        assert _COMPACT_MIN_DROP >= 1
+
+    def test_solve_batch_matches_solo_with_compaction(self):
+        from repro.algo.local_solver import SpecialFormLocalSolver
+
+        instances = [
+            cycle_instance(20, coefficient_range=(0.5, 2.0), seed=s) for s in range(3)
+        ]
+        solver = SpecialFormLocalSolver(R=3)
+        solo = [solver.solve(inst) for inst in instances]
+        batch = solver.solve_batch(instances)
+        for a, b, inst in zip(solo, batch, instances):
+            for v in inst.agents:
+                assert a.solution[v] == b.solution[v]
