@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.analysis.reporting import format_markdown_table, format_table
 
 #: Where the regenerated tables are written.
@@ -47,6 +48,25 @@ def write_bench_payload(
     output.parent.mkdir(parents=True, exist_ok=True)
     output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return output
+
+
+def obs_counter_rollup(fn: Callable[[], object]) -> Tuple[object, Dict[str, float]]:
+    """Run ``fn`` with tracing on and return ``(result, counter_deltas)``.
+
+    Benchmarks call this on a separate, *untimed* pass so the timed
+    measurements stay free of tracing overhead while the emitted
+    ``BENCH_*.json`` rows still carry the solver counters (bisection
+    iterations, dedup hits, peel rounds, …) for the configuration they
+    timed.  The prior tracing state is restored afterwards.
+    """
+    prior = obs.enabled()
+    obs.configure(enabled=True)
+    mark = obs.counters_mark()
+    try:
+        result = fn()
+        return result, obs.counters_since(mark)
+    finally:
+        obs.configure(enabled=prior)
 
 
 def emit_table(

@@ -38,7 +38,7 @@ if str(BENCH_DIR) not in sys.path:  # allow `import _harness` when run as a scri
 
 from repro.algo.kernels import build_batched_trees
 from repro.algo.local_solver import SpecialFormLocalSolver
-from _harness import write_bench_payload
+from _harness import obs_counter_rollup, write_bench_payload
 from repro.analysis.reporting import format_table
 from repro.engine.cache import ResultCache
 from repro.engine.registry import solver_version
@@ -123,6 +123,11 @@ def measure(family: str, n: int, R: int, seed: int) -> Dict[str, object]:
     trees = build_batched_trees(instance.compiled(), R - 2)
     distinct = len(set(trees.signatures()))
 
+    # Untimed traced re-solve: the timed passes above stay tracing-free.
+    _, counters = obs_counter_rollup(
+        lambda: SpecialFormLocalSolver(R=R, backend="vectorized").solve(instance)
+    )
+
     return {
         "family": family,
         "n_agents": instance.num_agents,
@@ -135,6 +140,7 @@ def measure(family: str, n: int, R: int, seed: int) -> Dict[str, object]:
         "trees": trees.num_trees,
         "distinct_trees": distinct,
         "utility_vectorized": vec.utility(),
+        "obs": counters,
     }
 
 

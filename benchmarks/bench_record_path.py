@@ -52,7 +52,7 @@ BENCH_DIR = Path(__file__).resolve().parent
 if str(BENCH_DIR) not in sys.path:  # allow `import _harness` when run as a script
     sys.path.insert(0, str(BENCH_DIR))
 
-from _harness import write_bench_payload
+from _harness import obs_counter_rollup, write_bench_payload
 from repro.algo.general_solver import LocalMaxMinSolver
 from repro.algo.kernels import batched_upper_bounds
 from repro.analysis.reporting import format_table
@@ -235,6 +235,9 @@ def measure_evaluate(n: int, seed: int, repeats: int = 3) -> Dict[str, object]:
         "t_vectorized_s": round(t_array, 6),
         "speedup": round(t_dict / t_array, 2) if t_array > 0 else float("inf"),
         "bitwise_identical": bool(bitwise),
+        # Untimed traced evaluation pass: load/objective-pass counters for
+        # the record-evaluation path this row times.
+        "obs": obs_counter_rollup(lambda: eval_array())[1],
     }
 
 

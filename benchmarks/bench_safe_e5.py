@@ -45,7 +45,7 @@ if str(BENCH_DIR) not in sys.path:  # allow `import _harness` when run as a scri
     sys.path.insert(0, str(BENCH_DIR))
 
 from repro.algo.safe_algorithm import safe_solution
-from _harness import write_bench_payload
+from _harness import obs_counter_rollup, write_bench_payload
 from repro.analysis.reporting import format_table
 from repro.distributed import DistributedLocalSolver, DistributedSafeSolver
 from repro.engine.cache import ResultCache
@@ -177,6 +177,11 @@ def measure(family: str, n: int, R: int, seed: int) -> Dict[str, object]:
         "messages": run_vec.total_messages,
         "max_abs_diff_safe": safe_diff,
         "max_abs_diff_runtime": runtime_diff,
+        # Untimed traced re-run of the vectorized protocol: rounds, message
+        # and byte counters for the configuration timed above.
+        "obs": obs_counter_rollup(
+            lambda: DistributedLocalSolver(R=R, backend="vectorized").solve(instance)
+        )[1],
     }
 
 

@@ -44,7 +44,7 @@ BENCH_DIR = Path(__file__).resolve().parent
 if str(BENCH_DIR) not in sys.path:  # allow `import _harness` when run as a script
     sys.path.insert(0, str(BENCH_DIR))
 
-from _harness import write_bench_payload
+from _harness import obs_counter_rollup, write_bench_payload
 from repro.analysis.reporting import format_table
 from repro.core.preprocess import preprocess
 from repro.core.lp import solve_maxmin_lp
@@ -144,6 +144,11 @@ def measure_pipeline(n: int, seed: int) -> Dict[str, object]:
         "digest_identical": bool(digest_ok),
         "backmap_max_diff": backmap_diff,
         "special_agents": vec.transformed.num_agents,
+        # Untimed traced pipeline run on a fresh instance (the one above has
+        # the transform cached) for the counters of a cold transform.
+        "obs": obs_counter_rollup(
+            lambda: to_special_form(clean_general_instance(n, seed), backend="vectorized")
+        )[1],
     }
 
 

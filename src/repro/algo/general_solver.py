@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional
 
+from .. import obs
 from .._types import NodeId
 from ..core.instance import MaxMinInstance
 from ..core.preprocess import PreprocessResult, preprocess
@@ -203,7 +204,7 @@ class LocalMaxMinSolver:
         ``result`` is filled for the trivial outcomes (zero / unbounded /
         ``ΔI ≤ 1``); otherwise ``special_instance`` awaits a §5 solve.
         """
-        pre = preprocess(instance)
+        pre = preprocess(instance)  # spans itself (cache hits skip the span)
 
         # Degenerate outcomes first.
         if pre.optimum_is_zero:
@@ -242,7 +243,12 @@ class LocalMaxMinSolver:
             transform = None
             special_instance = clean
         else:
-            transform = to_special_form(clean, backend=self._resolved_transform_backend())
+            with obs.span(
+                "transform.to_special_form",
+                backend=self._resolved_transform_backend(),
+                agents=clean.num_agents,
+            ):
+                transform = to_special_form(clean, backend=self._resolved_transform_backend())
             special_instance = transform.transformed
         return _PreparedSolve(instance, pre, transform, special_instance, None)
 
@@ -250,34 +256,38 @@ class LocalMaxMinSolver:
         self, prep: _PreparedSolve, special_result: SpecialFormSolveResult
     ) -> GeneralSolveResult:
         """Back-map, lift and certify one §5 result."""
-        instance = prep.instance
-        pre = prep.pre
-        transform = prep.transform
+        with obs.span("solve.finish"):
+            instance = prep.instance
+            pre = prep.pre
+            transform = prep.transform
 
-        mapped = special_result.solution
-        if transform is not None:
-            mapped = transform.map_back(mapped, label=self.name)
-        if pre.changed:
-            final = pre.lift(mapped, label=self.name)
-        else:
-            final = Solution(instance, mapped.as_dict(), label=self.name)
+            mapped = special_result.solution
+            if transform is not None:
+                mapped = transform.map_back(mapped, label=self.name)
+            if pre.changed:
+                final = pre.lift(mapped, label=self.name)
+            else:
+                final = Solution(instance, mapped.as_dict(), label=self.name)
 
-        # Guarantee accounting: the special-form factor times the composed
-        # transformation factor (only §4.3 contributes, exactly ΔI/2).
-        transform_factor = transform.ratio_factor if transform is not None else 1.0
-        ratio = transform_factor * special_form_ratio(prep.special_instance.delta_K, self.R)
-        cert = self._certificate(instance, ratio, "local")
-        cert.utility = final.utility()
+            # Guarantee accounting: the special-form factor times the composed
+            # transformation factor (only §4.3 contributes, exactly ΔI/2).
+            transform_factor = transform.ratio_factor if transform is not None else 1.0
+            ratio = transform_factor * special_form_ratio(
+                prep.special_instance.delta_K, self.R
+            )
+            cert = self._certificate(instance, ratio, "local")
+            cert.utility = final.utility()
 
         return GeneralSolveResult(final, cert, pre, transform, special_result, "local")
 
     def solve(self, instance: MaxMinInstance) -> GeneralSolveResult:
         """Run the full pipeline on an arbitrary max-min LP instance."""
-        prep = self._prepare(instance)
-        if prep.result is not None:
-            return prep.result
-        special_result = self.inner.solve(prep.special_instance)
-        return self._finish(prep, special_result)
+        with obs.span("solve.general", R=self.R, agents=instance.num_agents):
+            prep = self._prepare(instance)
+            if prep.result is not None:
+                return prep.result
+            special_result = self.inner.solve(prep.special_instance)
+            return self._finish(prep, special_result)
 
     def solve_many(self, instances) -> list:
         """Solve several instances with one batched §5 kernel dispatch.
@@ -290,12 +300,16 @@ class LocalMaxMinSolver:
         to calling :meth:`solve` per instance (bitwise, for the vectorized
         backend) and are returned in input order.
         """
-        preps = [self._prepare(instance) for instance in instances]
-        pending = [prep for prep in preps if prep.result is None]
-        inner_results = self.inner.solve_batch([prep.special_instance for prep in pending])
-        for prep, special_result in zip(pending, inner_results):
-            prep.result = self._finish(prep, special_result)
-        return [prep.result for prep in preps]
+        with obs.span("solve.general_batch", R=self.R) as sp:
+            preps = [self._prepare(instance) for instance in instances]
+            pending = [prep for prep in preps if prep.result is None]
+            sp.set(instances=len(preps), solved=len(pending))
+            inner_results = self.inner.solve_batch(
+                [prep.special_instance for prep in pending]
+            )
+            for prep, special_result in zip(pending, inner_results):
+                prep.result = self._finish(prep, special_result)
+            return [prep.result for prep in preps]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"LocalMaxMinSolver(R={self.R}, tu_method={self.inner.tu_method!r})"

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..core.compiled import CompiledInstance, _segment_gather
 from ..exceptions import SolverError
 from .alternating_tree import build_alternating_tree
@@ -369,6 +370,8 @@ def _batched_bisection(
     w_lo = np.zeros(T, dtype=np.float64)
     w_hi = hi0.copy()
     iterations = 0
+    tree_iterations = 0
+    compactions = 0
     while iterations < max_iterations:
         w_active &= (w_hi - w_lo) > tol
         n_active = int(w_active.sum())
@@ -386,6 +389,7 @@ def _batched_bisection(
             w_lo = w_lo[keep]
             w_hi = w_hi[keep]
             w_active = np.ones(len(keep), dtype=bool)
+            compactions += 1
         mid = 0.5 * (w_lo + w_hi)
         feasible = _recursion_margins(cur, mid) >= 0.0
         take = w_active & feasible
@@ -393,7 +397,11 @@ def _batched_bisection(
         drop = w_active & ~feasible
         w_hi[drop] = mid[drop]
         iterations += 1
+        tree_iterations += n_active
 
+    obs.count("kernels.bisection_sweeps", iterations)
+    obs.count("kernels.bisection_iterations", tree_iterations)
+    obs.count("kernels.bisection_compactions", compactions)
     lo_full[origin] = w_lo
     bisected = positive & ~feasible_at_hi
     t[bisected] = lo_full[bisected]
@@ -438,6 +446,9 @@ def batched_upper_bounds(
     else:
         rep_idx = np.arange(bt.num_trees, dtype=np.int64)
         group_of = rep_idx
+    obs.count("kernels.trees_total", bt.num_trees)
+    obs.count("kernels.trees_distinct", len(rep_idx))
+    obs.count("kernels.dedup_hits", bt.num_trees - len(rep_idx))
 
     if method == "lp":
         instance = comp.instance
@@ -519,12 +530,15 @@ def smooth_bounds_kernel(comp: CompiledInstance, t: np.ndarray, r: int) -> np.nd
     nonempty = np.flatnonzero(np.diff(indptr) > 0)
     if len(nonempty) == 0:
         return s
+    rounds = 0
     for _ in range(2 * r + 1):
+        rounds += 1
         neighbour_min = np.minimum.reduceat(s[indices], indptr[nonempty])
         updated = np.minimum(s[nonempty], neighbour_min)
         if np.array_equal(updated, s[nonempty]):
             break
         s[nonempty] = updated
+    obs.count("kernels.smoothing_rounds", rounds)
     return s
 
 

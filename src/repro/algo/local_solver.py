@@ -31,6 +31,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional
 
+from .. import obs
 from .._types import NodeId
 from ..core.instance import MaxMinInstance
 from ..core.solution import Solution
@@ -90,9 +91,26 @@ class SpecialFormSolveResult:
         The shifting parameter and ``r = R − 2``.
     guaranteed_ratio:
         ``2 (1 − 1/ΔK)(1 + 1/(R−1))`` for this instance's ``ΔK``.
+
+    Results built by :meth:`from_kernel_arrays` (the vectorized backend)
+    keep the kernel output arrays and materialise the ``upper_bounds`` /
+    ``smoothed_bounds`` / ``g`` dicts only on first attribute access: the
+    engine's record path reads nothing but ``solution``, so a sweep never
+    pays for ``O(n·r)`` dict construction per solve.  The
+    ``solver.lazy_results`` / ``solver.lazy_materializations`` counters
+    record how often the skip fires versus gets undone.
     """
 
-    __slots__ = ("solution", "upper_bounds", "smoothed_bounds", "g", "R", "r", "guaranteed_ratio")
+    __slots__ = (
+        "solution",
+        "_upper_bounds",
+        "_smoothed_bounds",
+        "_g",
+        "_lazy",
+        "R",
+        "r",
+        "guaranteed_ratio",
+    )
 
     def __init__(
         self,
@@ -104,18 +122,78 @@ class SpecialFormSolveResult:
         guaranteed_ratio: float,
     ) -> None:
         self.solution = solution
-        self.upper_bounds = upper_bounds
-        self.smoothed_bounds = smoothed_bounds
-        self.g = g
+        self._upper_bounds = upper_bounds
+        self._smoothed_bounds = smoothed_bounds
+        self._g = g
+        self._lazy = None
         self.R = R
         self.r = R - 2
         self.guaranteed_ratio = guaranteed_ratio
+
+    @classmethod
+    def from_kernel_arrays(
+        cls,
+        instance: MaxMinInstance,
+        t,
+        s,
+        g_plus,
+        g_minus,
+        solution: Solution,
+        R: int,
+        guaranteed_ratio: float,
+    ) -> "SpecialFormSolveResult":
+        """Wrap kernel output arrays without materialising the bound dicts."""
+        result = cls.__new__(cls)
+        result.solution = solution
+        result._upper_bounds = None
+        result._smoothed_bounds = None
+        result._g = None
+        result._lazy = (instance, t, s, g_plus, g_minus)
+        result.R = R
+        result.r = R - 2
+        result.guaranteed_ratio = guaranteed_ratio
+        obs.count("solver.lazy_results")
+        return result
+
+    def _materialize(self) -> None:
+        """Build the dict views from the retained kernel arrays (once)."""
+        instance, t, s, g_plus, g_minus = self._lazy
+        agents = instance.agents
+        self._upper_bounds = dict(zip(agents, t.tolist()))
+        self._smoothed_bounds = dict(zip(agents, s.tolist()))
+        self._g = GRecursionValues(
+            [dict(zip(agents, g_plus[d].tolist())) for d in range(self.r + 1)],
+            [dict(zip(agents, g_minus[d].tolist())) for d in range(self.r + 1)],
+        )
+        self._lazy = None
+        obs.count("solver.lazy_materializations")
+
+    @property
+    def upper_bounds(self) -> Dict[NodeId, float]:
+        if self._upper_bounds is None:
+            self._materialize()
+        return self._upper_bounds
+
+    @property
+    def smoothed_bounds(self) -> Dict[NodeId, float]:
+        if self._smoothed_bounds is None:
+            self._materialize()
+        return self._smoothed_bounds
+
+    @property
+    def g(self) -> GRecursionValues:
+        if self._g is None:
+            self._materialize()
+        return self._g
 
     def utility(self) -> float:
         return self.solution.utility()
 
     def minimum_smoothed_bound(self) -> float:
         """``min_v s_v`` — the quantity Lemma 12 relates the output to."""
+        if self._smoothed_bounds is None and self._lazy is not None:
+            s = self._lazy[2]
+            return float(s.min()) if len(s) else math.inf
         return min(self.smoothed_bounds.values()) if self.smoothed_bounds else math.inf
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -218,12 +296,19 @@ class SpecialFormLocalSolver:
         if self.backend == "vectorized":
             return self._solve_vectorized(instance)
 
-        upper_bounds = compute_upper_bounds(
-            instance, self.r, method=self.tu_method, tol=self.tu_tol
-        )
-        smoothed = smooth_upper_bounds(instance, upper_bounds, self.r)
-        g = self.compute_g_recursion(instance, smoothed)
-        solution = self.output_vector(instance, g)
+        with obs.span(
+            "solve.special_form", backend="reference", agents=instance.num_agents
+        ):
+            with obs.span("kernels.upper_bounds"):
+                upper_bounds = compute_upper_bounds(
+                    instance, self.r, method=self.tu_method, tol=self.tu_tol
+                )
+            with obs.span("kernels.smooth"):
+                smoothed = smooth_upper_bounds(instance, upper_bounds, self.r)
+            with obs.span("kernels.g_recursion"):
+                g = self.compute_g_recursion(instance, smoothed)
+            with obs.span("kernels.output"):
+                solution = self.output_vector(instance, g)
 
         return SpecialFormSolveResult(
             solution=solution,
@@ -245,10 +330,17 @@ class SpecialFormLocalSolver:
 
         comp = instance.compiled()
         r = self.r
-        t = batched_upper_bounds(comp, r, method=self.tu_method, tol=self.tu_tol)
-        s = smooth_bounds_kernel(comp, t, r)
-        g_plus, g_minus = g_recursion_kernel(comp, s, r)
-        x = output_kernel(g_plus, g_minus, self.R)
+        with obs.span(
+            "solve.special_form", backend="vectorized", agents=comp.num_agents
+        ):
+            with obs.span("kernels.upper_bounds"):
+                t = batched_upper_bounds(comp, r, method=self.tu_method, tol=self.tu_tol)
+            with obs.span("kernels.smooth"):
+                s = smooth_bounds_kernel(comp, t, r)
+            with obs.span("kernels.g_recursion"):
+                g_plus, g_minus = g_recursion_kernel(comp, s, r)
+            with obs.span("kernels.output"):
+                x = output_kernel(g_plus, g_minus, self.R)
         return self._package_vectorized(instance, t, s, g_plus, g_minus, x)
 
     def _package_vectorized(
@@ -260,21 +352,21 @@ class SpecialFormLocalSolver:
         g_minus,
         x,
     ) -> SpecialFormSolveResult:
-        """Wrap kernel output arrays (canonical agent order) into a result."""
-        agents = instance.agents
-        r = self.r
-        g = GRecursionValues(
-            [dict(zip(agents, g_plus[d].tolist())) for d in range(r + 1)],
-            [dict(zip(agents, g_minus[d].tolist())) for d in range(r + 1)],
-        )
+        """Wrap kernel output arrays (canonical agent order) into a lazy result.
+
+        The bound dicts and ``g±`` tables materialise only if a caller
+        actually reads them (see :meth:`SpecialFormSolveResult.from_kernel_arrays`).
+        """
         solution = Solution.from_agent_array(instance, x, label=f"local-R{self.R}")
-        return SpecialFormSolveResult(
-            solution=solution,
-            upper_bounds=dict(zip(agents, t.tolist())),
-            smoothed_bounds=dict(zip(agents, s.tolist())),
-            g=g,
-            R=self.R,
-            guaranteed_ratio=special_form_ratio(instance.delta_K, self.R),
+        return SpecialFormSolveResult.from_kernel_arrays(
+            instance,
+            t,
+            s,
+            g_plus,
+            g_minus,
+            solution,
+            self.R,
+            special_form_ratio(instance.delta_K, self.R),
         )
 
     def solve_batch(self, instances) -> List[SpecialFormSolveResult]:
@@ -312,10 +404,20 @@ class SpecialFormLocalSolver:
             require_special_form(instance)
         stacked = stack_compiled([instance.compiled() for instance in instances])
         r = self.r
-        t = batched_upper_bounds(stacked, r, method=self.tu_method, tol=self.tu_tol)
-        s = smooth_bounds_kernel(stacked, t, r)
-        g_plus, g_minus = g_recursion_kernel(stacked, s, r)
-        x = output_kernel(g_plus, g_minus, self.R)
+        with obs.span(
+            "solve.special_form",
+            backend="vectorized",
+            agents=stacked.num_agents,
+            batch=len(instances),
+        ):
+            with obs.span("kernels.upper_bounds"):
+                t = batched_upper_bounds(stacked, r, method=self.tu_method, tol=self.tu_tol)
+            with obs.span("kernels.smooth"):
+                s = smooth_bounds_kernel(stacked, t, r)
+            with obs.span("kernels.g_recursion"):
+                g_plus, g_minus = g_recursion_kernel(stacked, s, r)
+            with obs.span("kernels.output"):
+                x = output_kernel(g_plus, g_minus, self.R)
         return [
             self._package_vectorized(
                 instance, t[sl], s[sl], g_plus[:, sl], g_minus[:, sl], x[sl]

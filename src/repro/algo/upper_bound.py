@@ -23,6 +23,7 @@ from typing import Dict, Iterable, Optional
 
 import networkx as nx
 
+from .. import obs
 from .._types import NodeId, NodeType, agent_node
 from ..core.instance import MaxMinInstance
 from ..core.lp import solve_maxmin_lp
@@ -90,6 +91,7 @@ def tree_optimum_binary_search(
         else:
             hi = mid
         iterations += 1
+    obs.count("kernels.bisection_iterations", iterations)
     return lo
 
 
@@ -117,6 +119,7 @@ def compute_upper_bounds(
 ) -> Dict[NodeId, float]:
     """Compute ``t_u`` for every agent ``u`` (or a subset) of a special-form instance."""
     targets = tuple(agents) if agents is not None else instance.agents
+    obs.count("kernels.trees_total", len(targets))
     bounds: Dict[NodeId, float] = {}
     for u in targets:
         tree = build_alternating_tree(instance, u, r, validate=False)

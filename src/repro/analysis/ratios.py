@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from .. import obs
 from ..algo.general_solver import LocalMaxMinSolver
 from ..algo.safe_algorithm import SafeAlgorithm
 from ..core.instance import MaxMinInstance
@@ -58,19 +59,20 @@ def evaluate_solution(
     """
     if optimum is None:
         optimum = solve_maxmin_lp(instance).optimum
-    utility = solution.utility()
-    ratio = measured_ratio(optimum, utility)
-    record: Dict[str, object] = {
-        "instance": instance.name,
-        "algorithm": algorithm,
-        "num_agents": instance.num_agents,
-        "delta_I": instance.delta_I,
-        "delta_K": instance.delta_K,
-        "feasible": solution.check_feasibility().feasible,
-        "optimum": optimum,
-        "utility": utility,
-        "measured_ratio": ratio,
-    }
+    with obs.span("record.evaluate", algorithm=algorithm):
+        utility = solution.utility()
+        ratio = measured_ratio(optimum, utility)
+        record: Dict[str, object] = {
+            "instance": instance.name,
+            "algorithm": algorithm,
+            "num_agents": instance.num_agents,
+            "delta_I": instance.delta_I,
+            "delta_K": instance.delta_K,
+            "feasible": solution.check_feasibility().feasible,
+            "optimum": optimum,
+            "utility": utility,
+            "measured_ratio": ratio,
+        }
     if guaranteed_ratio is not None:
         record["guaranteed_ratio"] = guaranteed_ratio
         record["within_guarantee"] = ratio <= guaranteed_ratio * (1.0 + 1e-7)

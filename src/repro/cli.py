@@ -24,9 +24,11 @@ also covered by the test suite through the Python API.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Callable, List, Optional
 
+from . import obs
 from .algo.general_solver import LocalMaxMinSolver
 from .algo.safe_algorithm import SafeAlgorithm
 from .analysis.ratios import compare_algorithms
@@ -35,6 +37,7 @@ from .analysis.sweeps import run_ratio_sweep_batch, worst_case_by
 from .core.instance import MaxMinInstance
 from .core.lp import solve_maxmin_lp
 from .core.preprocess import preprocess
+from .engine.cache import ResultCache
 from .generators import (
     cycle_instance,
     objective_ring_instance,
@@ -49,6 +52,20 @@ __all__ = ["main", "build_parser"]
 
 #: Instance families understood by ``generate`` and ``sweep``.
 FAMILIES = ("random", "special-form", "cycle", "torus", "sensor", "ring")
+
+
+def _add_obs_flags(sub_parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by ``solve`` and ``sweep``."""
+    sub_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace the run and print the span tree and counter table",
+    )
+    sub_parser.add_argument(
+        "--trace-out",
+        dest="trace_out",
+        help="trace the run and write the versioned trace JSON to this path",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -91,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="safe-baseline backend (CSR segment-min vs per-node dicts)",
     )
     solve.add_argument("--with-optimum", action="store_true", help="also solve the exact LP")
+    _add_obs_flags(solve)
 
     compare = sub.add_parser("compare", help="compare R values and baselines on an instance")
     compare.add_argument("input", help="instance JSON path")
@@ -149,9 +167,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--full-table", action="store_true", help="print every record, not just the summary"
     )
+    _add_obs_flags(sweep)
 
     info = sub.add_parser("info", help="print structural statistics of an instance")
     info.add_argument("input", help="instance JSON path")
+    info.add_argument(
+        "--cache-dir",
+        help="also print hit/miss statistics for this result-cache directory",
+    )
 
     return parser
 
@@ -327,7 +350,49 @@ def _info(args: argparse.Namespace) -> int:
     elif pre.optimum_is_unbounded:
         rows.append({"property": "preprocess: optimum", "value": "unbounded"})
     print(format_table(rows, ["property", "value"], title=instance.name))
+    if args.cache_dir:
+        cache = ResultCache(args.cache_dir)
+        stats = cache.stats()
+        print()
+        print(
+            format_table(
+                [{"property": key, "value": value} for key, value in stats.items()],
+                ["property", "value"],
+                title=f"result cache: {args.cache_dir}",
+            )
+        )
     return 0
+
+
+def _run_with_obs(
+    handler: Callable[[argparse.Namespace], int], args: argparse.Namespace
+) -> int:
+    """Run a handler under tracing when ``--profile``/``--trace-out`` ask for it.
+
+    The prior tracing state is restored afterwards, so in-process callers of
+    :func:`main` (tests, notebooks) never observe a leaked global flag.
+    """
+    profile = bool(getattr(args, "profile", False))
+    trace_out = getattr(args, "trace_out", None)
+    if not profile and not trace_out:
+        return handler(args)
+    prior = obs.enabled()
+    obs.configure(enabled=True)
+    try:
+        code = handler(args)
+        if profile:
+            print()
+            print(obs.format_span_tree())
+            print()
+            print(obs.format_counter_table())
+        if trace_out:
+            payload = obs.trace_payload(meta={"command": args.command})
+            with open(trace_out, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+            print(f"trace written to {trace_out}")
+        return code
+    finally:
+        obs.configure(enabled=prior)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -341,7 +406,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _sweep,
         "info": _info,
     }
-    return handlers[args.command](args)
+    return _run_with_obs(handlers[args.command], args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the console script

@@ -612,8 +612,10 @@ class MaxMinInstance:
         instance is immutable, so the view can never go stale).
         """
         if self._compiled_cache is None:
+            from .. import obs
             from .compiled import CompiledInstance
 
+            obs.count("compile.builds")
             self._compiled_cache = CompiledInstance(self)
         return self._compiled_cache
 

@@ -41,6 +41,7 @@ from scipy import sparse
 from scipy.sparse import csgraph
 from scipy.optimize import linprog
 
+from .. import obs
 from .._types import NodeId
 from ..exceptions import InvalidInstanceError, SolverError
 from .compiled import _segment_gather
@@ -114,21 +115,23 @@ def _solve_clean(instance: MaxMinInstance, method: str) -> LPResult:
         zero = Solution(instance, {v: 0.0 for v in instance.agents}, label="lp-zero")
         return LPResult(math.inf if n_obj == 0 else 0.0, zero, "unbounded" if n_obj == 0 else "zero")
 
-    rows, cols, data = _assembly_triplets(instance)
-    # The ω column: coefficient +1 in every covering row.
-    rows = np.concatenate([rows, n_con + np.arange(n_obj, dtype=np.int64)])
-    cols = np.concatenate([cols, np.full(n_obj, n, dtype=np.int64)])
-    data = np.concatenate([data, np.ones(n_obj)])
+    with obs.span("lp.assemble", rows=n_con + n_obj, cols=n + 1):
+        rows, cols, data = _assembly_triplets(instance)
+        # The ω column: coefficient +1 in every covering row.
+        rows = np.concatenate([rows, n_con + np.arange(n_obj, dtype=np.int64)])
+        cols = np.concatenate([cols, np.full(n_obj, n, dtype=np.int64)])
+        data = np.concatenate([data, np.ones(n_obj)])
 
-    a_ub = sparse.csr_matrix((data, (rows, cols)), shape=(n_con + n_obj, n + 1))
-    b_ub = np.concatenate([np.ones(n_con), np.zeros(n_obj)])
+        a_ub = sparse.csr_matrix((data, (rows, cols)), shape=(n_con + n_obj, n + 1))
+        b_ub = np.concatenate([np.ones(n_con), np.zeros(n_obj)])
 
-    cost = np.zeros(n + 1)
-    cost[n] = -1.0  # maximise ω
+        cost = np.zeros(n + 1)
+        cost[n] = -1.0  # maximise ω
 
-    bounds = [(0.0, None)] * (n + 1)
+        bounds = [(0.0, None)] * (n + 1)
 
-    result = linprog(cost, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method=method)
+    with obs.span("lp.linprog", method=method):
+        result = linprog(cost, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method=method)
     if not result.success:
         raise SolverError(
             f"linprog failed on instance {instance.name!r}: status={result.status}, "
@@ -202,18 +205,20 @@ def _solve_components(
         zero = Solution(instance, {v: 0.0 for v in instance.agents}, label="lp-zero")
         return LPResult(math.inf, zero, "unbounded")
 
-    rows, cols, data = _assembly_triplets(instance)
-    rows = np.concatenate([rows, n_con + np.arange(n_obj, dtype=np.int64)])
-    cols = np.concatenate([cols, omega_col[obj_label]])
-    data = np.concatenate([data, np.ones(n_obj)])
+    with obs.span("lp.assemble", rows=n_con + n_obj, cols=n + n_omega):
+        rows, cols, data = _assembly_triplets(instance)
+        rows = np.concatenate([rows, n_con + np.arange(n_obj, dtype=np.int64)])
+        cols = np.concatenate([cols, omega_col[obj_label]])
+        data = np.concatenate([data, np.ones(n_obj)])
 
-    a_ub = sparse.csr_matrix((data, (rows, cols)), shape=(n_con + n_obj, n + n_omega))
-    b_ub = np.concatenate([np.ones(n_con), np.zeros(n_obj)])
-    cost = np.zeros(n + n_omega)
-    cost[n:] = -1.0  # maximise Σ_j ω_j — decomposes per block
-    bounds = [(0.0, None)] * (n + n_omega)
+        a_ub = sparse.csr_matrix((data, (rows, cols)), shape=(n_con + n_obj, n + n_omega))
+        b_ub = np.concatenate([np.ones(n_con), np.zeros(n_obj)])
+        cost = np.zeros(n + n_omega)
+        cost[n:] = -1.0  # maximise Σ_j ω_j — decomposes per block
+        bounds = [(0.0, None)] * (n + n_omega)
 
-    result = linprog(cost, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method=method)
+    with obs.span("lp.linprog", method=method, components=n_comp):
+        result = linprog(cost, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method=method)
     if not result.success:
         raise SolverError(
             f"linprog failed on instance {instance.name!r} "
@@ -258,6 +263,22 @@ def solve_maxmin_lp(
         For unbounded instances, the returned witness solution achieves at
         least this utility.
     """
+    with obs.span("lp.solve", agents=instance.num_agents):
+        return _solve_maxmin_lp(
+            instance,
+            method=method,
+            split_components=split_components,
+            unbounded_target=unbounded_target,
+        )
+
+
+def _solve_maxmin_lp(
+    instance: MaxMinInstance,
+    *,
+    method: str,
+    split_components: bool,
+    unbounded_target: float,
+) -> LPResult:
     pre = preprocess(instance)
 
     if pre.optimum_is_zero:

@@ -54,6 +54,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from .. import obs
 from .._types import NodeId
 from ..exceptions import DegenerateInstanceError
 from .compiled import _segment_gather
@@ -247,9 +248,11 @@ def _reference_fixed_point(instance: MaxMinInstance) -> _FixedPoint:
         if not instance.agents_of_objective(k):
             optimum_is_zero = True
 
+    peel_rounds = 0
     changed = True
     while changed:
         changed = False
+        peel_rounds += 1
 
         # Constraints with no surviving agents are trivially satisfied.
         for i in list(constraints):
@@ -305,6 +308,7 @@ def _reference_fixed_point(instance: MaxMinInstance) -> _FixedPoint:
                 forced_zero_set.add(v)
                 changed = True
 
+    obs.count("preprocess.peel_rounds", peel_rounds)
     return _FixedPoint(
         [v for v in instance.agents if v in agents],
         [i for i in instance.constraints if i in constraints],
@@ -356,9 +360,11 @@ def _vectorized_fixed_point(instance: MaxMinInstance) -> _FixedPoint:
     # Isolated objectives in the *original* instance force the optimum to 0.
     optimum_is_zero = bool(m_obj) and bool((comp.objective_degrees == 0).any())
 
+    peel_rounds = 0
     changed = True
     while changed:
         changed = False
+        peel_rounds += 1
 
         # Phase 1 — constraints with no surviving agents.
         dead_cons = np.flatnonzero(alive_con & (live_con_members == 0))
@@ -424,6 +430,8 @@ def _vectorized_fixed_point(instance: MaxMinInstance) -> _FixedPoint:
                 live_obj_members -= np.bincount(touched_objs, minlength=m_obj)
             changed = True
 
+    obs.count("preprocess.peel_rounds", peel_rounds)
+
     def _ids(rounds: List[np.ndarray], names) -> List[NodeId]:
         return [names[p] for chunk in rounds for p in chunk.tolist()]
 
@@ -462,15 +470,18 @@ def preprocess(instance: MaxMinInstance, *, backend: str = "vectorized") -> Prep
     """
     cached = instance._preprocess_cache
     if cached is not None and backend in cached:
+        obs.count("preprocess.cache_hits")
         return cached[backend]
-    if backend == "vectorized":
-        fp = _vectorized_fixed_point(instance)
-    elif backend == "reference":
-        fp = _reference_fixed_point(instance)
-    else:
-        raise ValueError(
-            f"unknown preprocess backend {backend!r} (expected 'vectorized' or 'reference')"
-        )
+    obs.count("preprocess.runs")
+    with obs.span("solve.preprocess", agents=instance.num_agents, backend=backend):
+        if backend == "vectorized":
+            fp = _vectorized_fixed_point(instance)
+        elif backend == "reference":
+            fp = _reference_fixed_point(instance)
+        else:
+            raise ValueError(
+                f"unknown preprocess backend {backend!r} (expected 'vectorized' or 'reference')"
+            )
 
     optimum_is_zero = fp.optimum_is_zero
     optimum_is_unbounded = not optimum_is_zero and not fp.objectives and bool(instance.objectives)
@@ -485,6 +496,9 @@ def preprocess(instance: MaxMinInstance, *, backend: str = "vectorized") -> Prep
         or bool(fp.removed_objectives)
     )
     if removed_anything:
+        obs.count("preprocess.removed_agents", len(fp.forced_zero) + len(fp.unconstrained))
+        obs.count("preprocess.removed_constraints", len(fp.removed_constraints))
+        obs.count("preprocess.removed_objectives", len(fp.removed_objectives))
         cleaned = instance.sub_instance(
             fp.agents, fp.constraints, fp.objectives, name=f"{instance.name}#clean"
         )

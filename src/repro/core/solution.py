@@ -31,6 +31,7 @@ from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from .._types import DEFAULT_FEASIBILITY_TOL, NodeId, ValueMap
 from ..exceptions import InfeasibleSolutionError, InvalidInstanceError
 from .instance import MaxMinInstance
@@ -209,12 +210,14 @@ class Solution:
     def constraint_loads(self) -> np.ndarray:
         """All constraint loads in canonical constraint order (cached CSR pass)."""
         if self._loads is None:
+            obs.count("solution.load_passes")
             self._loads = self.instance.compiled().constraint_loads(self.value_array())
         return self._loads
 
     def objective_value_array(self) -> np.ndarray:
         """All objective values in canonical objective order (cached CSR pass)."""
         if self._objvals is None:
+            obs.count("solution.objective_passes")
             self._objvals = self.instance.compiled().objective_values(self.value_array())
         return self._objvals
 

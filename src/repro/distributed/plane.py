@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..core.compiled import CompiledInstance, _segment_gather
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -113,6 +114,7 @@ class MessagePlane:
     )
 
     def __init__(self, instance: "MaxMinInstance") -> None:
+        obs.count("plane.builds")
         comp = instance.compiled()
         self.comp = comp
         A = len(comp.con_indices)

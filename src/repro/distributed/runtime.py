@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
+from .. import obs
 from .._types import GraphNode, NodeType, agent_node
 from ..exceptions import SimulationError
 from .message import Message, message_size_bytes
@@ -184,6 +185,16 @@ class SynchronousRuntime:
         network = self.network
         if network is None:
             raise SimulationError("the dict-based run() needs a CommunicationNetwork")
+        with obs.span("runtime.run", rounds=rounds):
+            return self._run_dict(network, node_factory, rounds, stop_when_silent)
+
+    def _run_dict(
+        self,
+        network: CommunicationNetwork,
+        node_factory: NodeFactory,
+        rounds: int,
+        stop_when_silent: bool,
+    ) -> RunResult:
         nodes: Dict[GraphNode, ProtocolNode] = {
             node: node_factory(network, node) for node in network.nodes()
         }
@@ -239,6 +250,9 @@ class SynchronousRuntime:
             if node_id[0] is NodeType.AGENT and value is not None:
                 outputs[node_id[1]] = value
 
+        obs.count("runtime.rounds", executed)
+        obs.count("runtime.messages", total_messages)
+        obs.count("runtime.bytes", total_bytes)
         return RunResult(
             outputs=outputs,
             rounds=executed,
@@ -269,6 +283,16 @@ class SynchronousRuntime:
                 "run() (reference backend) when measure_bytes=True"
             )
         plane = self.plane
+        with obs.span("runtime.run_vectorized", slots=plane.num_slots, rounds=rounds):
+            return self._run_vectorized(protocol, rounds, plane, stop_when_silent)
+
+    def _run_vectorized(
+        self,
+        protocol: VectorizedProtocol,
+        rounds: int,
+        plane: MessagePlane,
+        stop_when_silent: bool,
+    ) -> RunResult:
         inbox_mask, inbox_values = plane.empty_round()
         protocol.begin(plane)
 
@@ -304,6 +328,8 @@ class SynchronousRuntime:
             if not np.isnan(values[position]):
                 outputs[v] = value
 
+        obs.count("runtime.rounds", executed)
+        obs.count("runtime.messages", total_messages)
         return RunResult(
             outputs=outputs,
             rounds=executed,

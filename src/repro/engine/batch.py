@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from .. import obs
 from ..core.instance import MaxMinInstance
 from ..exceptions import EngineError
 from . import registry
@@ -25,12 +26,19 @@ __all__ = ["BatchResult", "run_batch", "ratio_sweep_batch"]
 
 @dataclass
 class BatchResult:
-    """Everything :func:`run_batch` knows after a batch completes."""
+    """Everything :func:`run_batch` knows after a batch completes.
+
+    ``metrics`` is the per-batch rollup: job/executed/cached counts, the
+    batch wall time, and — when tracing was enabled for the run — the
+    summed counter deltas of every executed job under ``"counters"`` (the
+    same payload the individual :attr:`JobResult.metrics` carry, merged).
+    """
 
     results: List[JobResult] = field(default_factory=list)
     executed_jobs: int = 0
     cached_jobs: int = 0
     elapsed_s: float = 0.0
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def records(self) -> List[Record]:
@@ -107,30 +115,55 @@ def run_batch(
         else:
             pending.append((index, spec))
 
+    batch_counters: Dict[str, object] = {}
     if pending:
         job_start = time.perf_counter()
         pending_specs = [spec for _, spec in pending]
         if dispatch == "batched":
-            outputs = registry.execute_jobs_batched(pending_specs)
+            # One multi-instance kernel dispatch: per-job attribution is not
+            # meaningful, so the counter delta is captured for the batch as a
+            # whole and only the amortised mean is reported per job.
+            mark = obs.counters_mark() if obs.enabled() else None
+            with obs.span("engine.run_batch", dispatch=dispatch, jobs=len(pending)):
+                outputs = registry.execute_jobs_batched(pending_specs)
+            per_metrics: List[Optional[Dict[str, object]]] = [None] * len(outputs)
+            if mark is not None:
+                batch_counters = obs.counters_since(mark)
         else:
-            outputs = executor.map_jobs(pending_specs)
+            with obs.span("engine.run_batch", dispatch=dispatch, jobs=len(pending)):
+                outputs, per_metrics = executor.map_jobs_detailed(pending_specs)
         if len(outputs) != len(pending):
             raise EngineError(
                 f"executor {executor!r} returned {len(outputs)} outputs for "
                 f"{len(pending)} jobs; result/owner alignment would be corrupted"
             )
         per_job = (time.perf_counter() - job_start) / len(pending)
-        for (index, spec), records in zip(pending, outputs):
+        for (index, spec), records, metrics in zip(pending, outputs, per_metrics):
             if cache is not None:
                 cache.put(keys[index], records)
-            slots[index] = JobResult(spec=spec, records=records, elapsed_s=per_job)
+            slots[index] = JobResult(
+                spec=spec, records=records, elapsed_s=per_job, metrics=metrics
+            )
+        for metrics in per_metrics:
+            if metrics is not None:
+                for name, value in metrics.get("counters", {}).items():  # type: ignore[union-attr]
+                    batch_counters[name] = batch_counters.get(name, 0) + value
 
     results = [slot for slot in slots if slot is not None]
+    rollup: Dict[str, object] = {
+        "jobs": len(batch.jobs),
+        "executed": len(pending),
+        "cached": len(batch.jobs) - len(pending),
+        "wall_s": time.perf_counter() - start,
+    }
+    if batch_counters:
+        rollup["counters"] = batch_counters
     return BatchResult(
         results=results,
         executed_jobs=len(pending),
         cached_jobs=len(batch.jobs) - len(pending),
-        elapsed_s=time.perf_counter() - start,
+        elapsed_s=rollup["wall_s"],  # type: ignore[arg-type]
+        metrics=rollup,
     )
 
 

@@ -18,8 +18,9 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
+from .. import obs
 from ..exceptions import EngineError
 from .job import Record
 
@@ -38,6 +39,7 @@ class ResultCache:
             raise EngineError(f"cache directory {str(self.root)!r} exists but is not a directory")
         self.hits = 0
         self.misses = 0
+        self.stores = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -57,6 +59,7 @@ class ResultCache:
             # ValueError covers both JSONDecodeError and UnicodeDecodeError
             # (a truncated write can leave invalid UTF-8 behind).
             self.misses += 1
+            obs.count("cache.misses")
             return None
         if (
             not isinstance(payload, dict)
@@ -65,8 +68,10 @@ class ResultCache:
             or not isinstance(payload.get("records"), list)
         ):
             self.misses += 1
+            obs.count("cache.misses")
             return None
         self.hits += 1
+        obs.count("cache.hits")
         return payload["records"]
 
     def put(self, key: str, records: List[Record]) -> Path:
@@ -82,7 +87,23 @@ class ResultCache:
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(payload), encoding="utf-8")
         os.replace(tmp, path)
+        self.stores += 1
+        obs.count("cache.stores")
         return path
+
+    def stats(self) -> Dict[str, int]:
+        """Hits, misses and stores recorded since this cache object was opened.
+
+        Counters live on the object, not on disk: two processes sharing one
+        cache directory each see their own traffic.  ``entries`` counts the
+        files currently present under the root (whoever wrote them).
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "entries": sum(1 for _ in self.root.rglob("*.json")) if self.root.is_dir() else 0,
+        }
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).is_file()

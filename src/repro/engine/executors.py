@@ -7,6 +7,17 @@ contiguous chunks and reassembles the outputs **in submission order**, so the
 two executors are observationally identical: same records, same order, for
 any batch.  That equivalence is the engine's core contract and is asserted by
 a property test in ``tests/test_engine.py``.
+
+Both executors also implement the *detailed* protocol,
+:meth:`Executor.map_jobs_detailed`, which returns per-job metrics (true
+elapsed wall time, and — with tracing enabled via
+:func:`repro.obs.configure` — the counter deltas each job produced)
+alongside the records.  Worker processes of the parallel executor collect
+their own trace buffers and ship them back with the chunk results; the
+parent merges them in **chunk-submission order**, so the merged spans and
+counters are deterministic for a fixed chunking regardless of which worker
+finished first.  Custom executors that only override :meth:`map_jobs` keep
+working: the base-class adapter runs them without metrics.
 """
 
 from __future__ import annotations
@@ -14,13 +25,17 @@ from __future__ import annotations
 import abc
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..exceptions import EngineError
 from . import registry
 from .job import JobSpec, Record
 
 __all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "default_executor"]
+
+#: Per-job metrics payload (see :func:`repro.engine.registry.execute_job_detailed`).
+JobMetrics = Dict[str, object]
 
 
 class Executor(abc.ABC):
@@ -31,6 +46,18 @@ class Executor(abc.ABC):
     @abc.abstractmethod
     def map_jobs(self, specs: Sequence[JobSpec]) -> List[List[Record]]:
         """Execute every spec; ``result[j]`` holds the records of ``specs[j]``."""
+
+    def map_jobs_detailed(
+        self, specs: Sequence[JobSpec]
+    ) -> Tuple[List[List[Record]], List[Optional[JobMetrics]]]:
+        """Execute every spec, returning ``(records, metrics)`` per job.
+
+        Base-class adapter for executors that only implement
+        :meth:`map_jobs`: runs them unchanged and reports ``None`` metrics
+        for every job (the engine then falls back to the amortised mean).
+        """
+        outputs = self.map_jobs(specs)
+        return outputs, [None] * len(outputs)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
@@ -46,15 +73,42 @@ class SerialExecutor(Executor):
         # ``registry.execute_job`` to count or stub solver calls.
         return [registry.execute_job(spec) for spec in specs]
 
+    def map_jobs_detailed(
+        self, specs: Sequence[JobSpec]
+    ) -> Tuple[List[List[Record]], List[Optional[JobMetrics]]]:
+        if type(self).map_jobs is not SerialExecutor.map_jobs:
+            # A subclass customised the classic hook; honour its behaviour
+            # (and its bugs — run_batch's alignment check must still fire).
+            return Executor.map_jobs_detailed(self, specs)
+        pairs = [registry.execute_job_detailed(spec) for spec in specs]
+        return [records for records, _ in pairs], [metrics for _, metrics in pairs]
 
-def _run_chunk(chunk_index: int, specs: List[JobSpec]) -> Tuple[int, List[List[Record]]]:
+
+def _run_chunk(
+    chunk_index: int, specs: List[JobSpec], with_obs: bool = False
+) -> Tuple[int, List[Tuple[List[Record], JobMetrics]], Optional[Dict[str, object]]]:
     """Worker-side entry point: execute one contiguous chunk of jobs.
 
     Module-level so it pickles by reference; each spec carries its instance
     as a JSON string and is deserialized here, on the worker, keeping the
-    dispatch payload small.
+    dispatch payload small.  With ``with_obs`` the worker collects its own
+    trace buffer for the chunk and returns the serialized snapshot (workers
+    do not inherit the parent's tracing flag — pools may have been forked
+    before the parent enabled it).
     """
-    return chunk_index, [registry.execute_job(spec) for spec in specs]
+    if with_obs:
+        obs.configure(enabled=True)
+        # A forked worker inherits the parent's live buffer (configure only
+        # resets on a disabled→enabled edge); start from a clean chunk-local
+        # buffer or the snapshot would duplicate the parent's spans.
+        obs.reset()
+    try:
+        pairs = [registry.execute_job_detailed(spec) for spec in specs]
+        snapshot = obs.snapshot() if with_obs else None
+    finally:
+        if with_obs:
+            obs.configure(enabled=False)
+    return chunk_index, pairs, snapshot
 
 
 class ParallelExecutor(Executor):
@@ -90,24 +144,44 @@ class ParallelExecutor(Executor):
         ]
 
     def map_jobs(self, specs: Sequence[JobSpec]) -> List[List[Record]]:
+        return self.map_jobs_detailed(specs)[0]
+
+    def map_jobs_detailed(
+        self, specs: Sequence[JobSpec]
+    ) -> Tuple[List[List[Record]], List[Optional[JobMetrics]]]:
         if not specs:
-            return []
+            return [], []
         if self.max_workers == 1 or len(specs) == 1:
             # A one-worker pool would only add process overhead.
-            return SerialExecutor().map_jobs(specs)
+            return SerialExecutor().map_jobs_detailed(specs)
         chunks = self._chunks(specs)
-        outputs: List[Optional[List[List[Record]]]] = [None] * len(chunks)
+        with_obs = obs.enabled()
+        outputs: List[Optional[List[Tuple[List[Record], JobMetrics]]]] = [None] * len(chunks)
+        snapshots: List[Optional[Dict[str, object]]] = [None] * len(chunks)
         with ProcessPoolExecutor(max_workers=min(self.max_workers, len(chunks))) as pool:
-            futures = [pool.submit(_run_chunk, index, chunk) for index, chunk in chunks]
+            futures = [
+                pool.submit(_run_chunk, index, chunk, with_obs) for index, chunk in chunks
+            ]
             for future in futures:
-                index, chunk_records = future.result()
-                outputs[index] = chunk_records
-        flat: List[List[Record]] = []
-        for chunk_records in outputs:
-            if chunk_records is None:  # pragma: no cover - defensive
+                index, pairs, snapshot = future.result()
+                outputs[index] = pairs
+                snapshots[index] = snapshot
+        # Fold worker trace buffers into the parent collector in
+        # chunk-submission order — deterministic regardless of completion
+        # order; each chunk gets its own virtual process lane.
+        if with_obs:
+            for index, snapshot in enumerate(snapshots):
+                if snapshot is not None:
+                    obs.merge_snapshot(snapshot, proc=index + 1)
+        records: List[List[Record]] = []
+        metrics: List[Optional[JobMetrics]] = []
+        for pairs in outputs:
+            if pairs is None:  # pragma: no cover - defensive
                 raise EngineError("worker chunk vanished without a result")
-            flat.extend(chunk_records)
-        return flat
+            for chunk_records, chunk_metrics in pairs:
+                records.append(chunk_records)
+                metrics.append(chunk_metrics)
+        return records, metrics
 
 
 def default_executor(jobs: Optional[int] = None) -> Executor:

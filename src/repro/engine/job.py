@@ -14,7 +14,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.instance import MaxMinInstance
 from ..io.serialization import instance_digest, instance_to_json
@@ -85,14 +85,20 @@ class JobResult:
     """The outcome of one job: its records plus provenance.
 
     ``elapsed_s`` is the batch's executor time *amortised* over the jobs it
-    executed (0.0 for cache hits) — a cost indicator, not a per-job
-    measurement; individual jobs are not timed inside worker processes.
+    executed (0.0 for cache hits) — a cost indicator only, since it averages
+    away per-job variation.  The job's **true** wall time, measured around
+    its own ``execute_job`` call inside whichever process ran it, lives in
+    ``metrics["elapsed_s"]``; when tracing is enabled
+    (:func:`repro.obs.configure`) ``metrics["counters"]`` additionally holds
+    the counter deltas attributable to this job.  ``metrics`` is ``None``
+    for cache hits and for executors that predate the detailed protocol.
     """
 
     spec: JobSpec
     records: List[Record]
     from_cache: bool = False
     elapsed_s: float = 0.0
+    metrics: Optional[Dict[str, object]] = None
 
 
 @dataclass

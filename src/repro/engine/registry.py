@@ -31,9 +31,11 @@ stale entries and nothing else.
 
 from __future__ import annotations
 
+import time
 from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple
 
+from .. import obs
 from ..analysis.ratios import (
     evaluate_local_algorithm,
     evaluate_lp_optimum,
@@ -46,7 +48,13 @@ from ..exceptions import EngineError
 from ..io.serialization import instance_from_json
 from .job import JobSpec, ParamItems, Record
 
-__all__ = ["SOLVER_VERSIONS", "solver_version", "execute_job", "execute_jobs_batched"]
+__all__ = [
+    "SOLVER_VERSIONS",
+    "solver_version",
+    "execute_job",
+    "execute_job_detailed",
+    "execute_jobs_batched",
+]
 
 #: Version tag per registered algorithm.  Bump when an algorithm's *output*
 #: changes; cached results from older versions are then recomputed.
@@ -79,7 +87,8 @@ def solver_version(algorithm: str) -> str:
 @lru_cache(maxsize=32)
 def _instance_and_lp(instance_json: str) -> Tuple[MaxMinInstance, LPResult]:
     """Per-process memo of the per-instance shared work (deserialize + exact LP)."""
-    instance = instance_from_json(instance_json)
+    with obs.span("io.deserialize", bytes=len(instance_json)):
+        instance = instance_from_json(instance_json)
     return instance, solve_maxmin_lp(instance)
 
 
@@ -113,6 +122,31 @@ def execute_job(spec: JobSpec) -> List[Record]:
         return [evaluate_lp_optimum(instance, lp=lp)]
 
     raise EngineError(f"algorithm {spec.algorithm!r} has a version but no executor branch")
+
+
+def execute_job_detailed(spec: JobSpec) -> Tuple[List[Record], Dict[str, object]]:
+    """Run one job and return ``(records, metrics)``.
+
+    ``metrics["elapsed_s"]`` is the job's true wall time (always measured —
+    one ``perf_counter`` pair per job is negligible against a solve).  With
+    tracing enabled, the job runs under a ``job.<algorithm>`` span and
+    ``metrics["counters"]`` carries the counter deltas it produced, which is
+    what the engine merges into the per-batch rollup.  Dispatch goes through
+    the module-global :func:`execute_job`, so tests monkeypatching it still
+    intercept every solve.
+    """
+    traced = obs.enabled()
+    mark = obs.counters_mark() if traced else None
+    start = time.perf_counter()
+    if traced:
+        with obs.span(f"job.{spec.algorithm}", digest=spec.instance_digest[:10]):
+            records = execute_job(spec)
+    else:
+        records = execute_job(spec)
+    metrics: Dict[str, object] = {"elapsed_s": time.perf_counter() - start}
+    if traced:
+        metrics["counters"] = obs.counters_since(mark)
+    return records, metrics
 
 
 def execute_jobs_batched(specs: Sequence[JobSpec]) -> List[List[Record]]:

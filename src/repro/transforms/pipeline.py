@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from .. import obs
 from ..core.instance import MaxMinInstance
 from ..core.validation import require_nondegenerate, require_special_form
 from .augment_singleton_constraints import AugmentSingletonConstraints
@@ -102,8 +103,10 @@ def to_special_form(
     if name is None:
         cached = instance._transform_cache
         if cached is not None and cache_key in cached:
+            obs.count("transform.cache_hits")
             return cached[cache_key]
 
+    obs.count("transform.runs")
     if backend == "vectorized":
         from .vectorized import vectorized_to_special_form
 
