@@ -1,0 +1,106 @@
+"""Chaos smoke: a seeded fault plan against a real sweep, end to end.
+
+The CI guard for the fault-tolerance subsystem.  One scripted run suffers
+
+* a worker crash mid-chunk (the parent's re-dispatch path runs for real),
+* a transient solver error on the first attempt of one job (retried), and
+* a corrupted result-cache entry (quarantined and recomputed on re-read),
+
+and the script asserts that (a) the surviving records are bitwise-identical
+to a fault-free run of the same batch, and (b) every recovery counter the
+faults should trip is nonzero — a fault harness that silently stops firing
+is itself a bug.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import obs
+from repro.engine import ParallelExecutor, ResultCache, RetryPolicy, ratio_sweep_batch, run_batch
+from repro.faults import CacheFault, FaultPlan, crash, transient
+from repro.generators import random_special_form_instance
+
+
+def main() -> int:
+    instances = [
+        random_special_form_instance(10 + 2 * i, delta_K=3, constraint_rounds=1, seed=i)
+        for i in range(3)
+    ]
+    batch = ratio_sweep_batch(instances, R_values=(2, 3), include_safe=True)
+    baseline = run_batch(batch)
+    base_json = json.dumps(baseline.records)
+    print(f"baseline: {len(batch.jobs)} jobs, {len(baseline.records)} records")
+
+    plan = FaultPlan(
+        seed=7,
+        job_faults=(
+            crash(algorithm="safe", digest_prefix=batch.jobs[2].instance_digest[:12], attempts=(0,)),
+            transient(
+                algorithm="safe", digest_prefix=batch.jobs[5].instance_digest[:12], attempts=(0,)
+            ),
+        ),
+        cache_faults=(CacheFault(mode="truncate", times=1),),
+    )
+    print(f"injecting: {plan.describe()}")
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_root = Path(tmp) / "cache"
+        obs.configure(enabled=True)
+        mark = obs.counters_mark()
+        chaos = run_batch(
+            batch,
+            executor=ParallelExecutor(max_workers=2, chunk_size=1),
+            cache=ResultCache(cache_root, faults=plan),
+            faults=plan,
+            retry=RetryPolicy(max_retries=2, backoff_base_s=0.0),
+        )
+        counters = obs.counters_since(mark)
+
+        if json.dumps(chaos.records) != base_json:
+            failures.append("chaos records differ from the fault-free baseline")
+        if chaos.failed_jobs:
+            failures.append(f"{len(chaos.failed_jobs)} jobs failed; expected full recovery")
+        for name in ("engine.retries", "engine.redispatches", "faults.transient"):
+            if counters.get(name, 0) <= 0:
+                failures.append(f"counter {name} did not fire")
+
+        # The corrupted entry is only discovered when the cache is re-read.
+        mark = obs.counters_mark()
+        verify_cache = ResultCache(cache_root)
+        second = run_batch(batch, cache=verify_cache)
+        counters2 = obs.counters_since(mark)
+        obs.configure(enabled=False)
+
+        if json.dumps(second.records) != base_json:
+            failures.append("post-corruption re-run records differ from baseline")
+        if counters2.get("cache.corrupt", 0) != 1:
+            failures.append(
+                f"expected exactly 1 corrupt cache entry, saw {counters2.get('cache.corrupt', 0)}"
+            )
+
+        recovery = {
+            name: int(counters.get(name, 0))
+            for name in ("engine.retries", "engine.redispatches", "faults.transient")
+        }
+        recovery["cache.corrupt"] = int(counters2.get("cache.corrupt", 0))
+        print("recovery counters:", json.dumps(recovery))
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("chaos smoke OK: records bitwise-identical under crash+transient+corruption")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

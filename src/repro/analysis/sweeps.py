@@ -23,6 +23,8 @@ from ..core.instance import MaxMinInstance
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard; engine imports ratios
     from ..engine.batch import BatchResult
     from ..engine.executors import Executor
+    from ..engine.resilience import RetryPolicy
+    from ..faults import FaultPlan
 
 __all__ = ["run_ratio_sweep", "run_ratio_sweep_batch", "worst_case_by", "group_rows"]
 
@@ -41,6 +43,11 @@ def run_ratio_sweep(
     cache_dir: Optional[str] = None,
     executor: Optional["Executor"] = None,
     dispatch: str = "per-job",
+    retry: Optional["RetryPolicy"] = None,
+    timeout_s: Optional[float] = None,
+    faults: Optional["FaultPlan"] = None,
+    resume_from: Optional[str] = None,
+    on_error: str = "raise",
 ) -> List[Dict[str, object]]:
     """Evaluate the algorithms on every instance and return flat records.
 
@@ -85,6 +92,13 @@ def run_ratio_sweep(
         converge, so batching pays off at medium instance sizes too, not only
         on many-small-instance sweeps (see
         :func:`repro.algo.kernels.batched_upper_bounds`).
+    retry / timeout_s / faults / resume_from / on_error:
+        Resilience and chaos knobs, forwarded verbatim to
+        :func:`repro.engine.batch.run_batch` — per-job retry policy, per-
+        attempt deadline, an injected fault plan, a checkpoint journal to
+        resume from, and whether a job that exhausts its retries aborts the
+        sweep (``"raise"``, default) or becomes a structured failure that
+        the surviving records simply omit (``"record"``).
     """
     rows, _ = run_ratio_sweep_batch(
         instances,
@@ -99,6 +113,11 @@ def run_ratio_sweep(
         cache_dir=cache_dir,
         executor=executor,
         dispatch=dispatch,
+        retry=retry,
+        timeout_s=timeout_s,
+        faults=faults,
+        resume_from=resume_from,
+        on_error=on_error,
     )
     return rows
 
@@ -117,11 +136,16 @@ def run_ratio_sweep_batch(
     cache_dir: Optional[str] = None,
     executor: Optional["Executor"] = None,
     dispatch: str = "per-job",
+    retry: Optional["RetryPolicy"] = None,
+    timeout_s: Optional[float] = None,
+    faults: Optional["FaultPlan"] = None,
+    resume_from: Optional[str] = None,
+    on_error: str = "raise",
 ) -> Tuple[List[Dict[str, object]], "BatchResult"]:
     """Like :func:`run_ratio_sweep`, but also return the engine's
     :class:`~repro.engine.batch.BatchResult` (executed/cached job counts,
-    timings) for callers that report execution statistics — notably the
-    ``maxmin-lp sweep`` CLI subcommand.
+    timings, failed jobs) for callers that report execution statistics —
+    notably the ``maxmin-lp sweep`` CLI subcommand.
     """
     # Imported lazily: repro.engine.registry imports repro.analysis.ratios,
     # so a module-level import here would be circular.
@@ -138,7 +162,16 @@ def run_ratio_sweep_batch(
         transform_backend=transform_backend,
     )
     result = run_batch(
-        batch, executor=executor, jobs=jobs, cache_dir=cache_dir, dispatch=dispatch
+        batch,
+        executor=executor,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        dispatch=dispatch,
+        retry=retry,
+        timeout_s=timeout_s,
+        faults=faults,
+        resume_from=resume_from,
+        on_error=on_error,
     )
 
     rows: List[Dict[str, object]] = []

@@ -38,6 +38,7 @@ from .core.instance import MaxMinInstance
 from .core.lp import solve_maxmin_lp
 from .core.preprocess import preprocess
 from .engine.cache import ResultCache
+from .engine.resilience import RetryPolicy
 from .generators import (
     cycle_instance,
     objective_ring_instance,
@@ -167,6 +168,29 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--full-table", action="store_true", help="print every record, not just the summary"
     )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry each failing job up to N extra times (exponential backoff); "
+        "failures that survive the retries are recorded, not fatal",
+    )
+    sweep.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        dest="timeout_s",
+        metavar="S",
+        help="per-attempt deadline in seconds for each job",
+    )
+    sweep.add_argument(
+        "--resume-from",
+        dest="resume_from",
+        metavar="JOURNAL",
+        help="checkpoint journal path: completed jobs are recorded there as the "
+        "sweep runs and skipped when the sweep is re-run after an interruption",
+    )
     _add_obs_flags(sweep)
 
     info = sub.add_parser("info", help="print structural statistics of an instance")
@@ -213,6 +237,22 @@ def _sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    resilient = (
+        args.retries is not None or args.timeout_s is not None or args.resume_from is not None
+    )
+    if args.dispatch == "batched" and resilient:
+        print(
+            "error: --dispatch batched has no per-job attempt boundary; "
+            "--retries/--timeout-s/--resume-from need per-job dispatch",
+            file=sys.stderr,
+        )
+        return 2
+    retry = None
+    if args.retries is not None:
+        if args.retries < 0:
+            print("error: --retries must be >= 0", file=sys.stderr)
+            return 2
+        retry = RetryPolicy(max_retries=args.retries, timeout_s=args.timeout_s)
     instances = [
         _make_instance(args.family, size, args.delta_I, args.delta_K, args.seed)
         for size in args.sizes
@@ -233,6 +273,12 @@ def _sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         dispatch=args.dispatch,
+        retry=retry,
+        timeout_s=args.timeout_s,
+        resume_from=args.resume_from,
+        # A sweep run with resilience knobs should report failures and keep
+        # the surviving records; without them, behaviour stays pre-existing.
+        on_error="record" if resilient else "raise",
     )
     if args.full_table:
         columns = [
@@ -250,12 +296,35 @@ def _sweep(args: argparse.Namespace) -> int:
         print()
     summary = worst_case_by(rows, keys=("algorithm",))
     print(format_table(summary, title=f"worst-case summary: {args.family}"))
+    journal_note = (
+        f", {batch_result.journal_jobs} journaled" if batch_result.journal_jobs else ""
+    )
     print(
-        f"jobs: {batch_result.executed_jobs} executed, {batch_result.cached_jobs} cached "
+        f"jobs: {batch_result.executed_jobs} executed, {batch_result.cached_jobs} cached"
+        f"{journal_note} "
         f"({batch_result.elapsed_s:.2f}s, jobs={args.jobs}, dispatch={args.dispatch}"
         + (f", cache={args.cache_dir}" if args.cache_dir else "")
+        + (f", journal={args.resume_from}" if args.resume_from else "")
         + ")"
     )
+    recovery = {
+        name: batch_result.metrics[name]
+        for name in ("retries", "timeouts", "redispatches", "downgrades")
+        if batch_result.metrics.get(name)
+    }
+    if recovery:
+        print("recovery: " + ", ".join(f"{k}={v}" for k, v in recovery.items()))
+    failed = batch_result.failed_jobs
+    if failed:
+        print(f"failed jobs ({len(failed)}):", file=sys.stderr)
+        for result in failed:
+            error = result.error or {}
+            print(
+                f"  {result.spec.describe()}: {error.get('type', '?')}: "
+                f"{error.get('message', '')} (attempts={result.attempts})",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 

@@ -24,13 +24,14 @@ Two execution paths share the accounting:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
 import numpy as np
 
 from .. import obs
 from .._types import GraphNode, NodeType, agent_node
 from ..exceptions import SimulationError
+from ..faults import FaultInjector, FaultPlan
 from .message import Message, message_size_bytes
 from .network import CommunicationNetwork
 from .node import ProtocolNode
@@ -140,6 +141,11 @@ class SynchronousRuntime:
         meaningful but slow for view-gathering protocols, so it is off by
         default.  Byte accounting needs real message objects, so it is only
         available on the dict path (:meth:`run_vectorized` raises).
+    faults:
+        A :class:`~repro.faults.plan.FaultPlan` (or live injector) whose
+        message faults drop delivery slots on the vectorized path.  Dropped
+        messages count as *sent* — the sender paid for them — but never
+        arrive, modelling a failed link for robustness experiments.
     """
 
     def __init__(
@@ -148,12 +154,16 @@ class SynchronousRuntime:
         *,
         plane: Optional[MessagePlane] = None,
         measure_bytes: bool = False,
+        faults: Optional[Union[FaultPlan, FaultInjector]] = None,
     ) -> None:
         if network is None and plane is None:
             raise SimulationError("SynchronousRuntime needs a network or a message plane")
         self.network = network
         self._plane = plane
         self.measure_bytes = measure_bytes
+        if isinstance(faults, FaultPlan):
+            faults = faults.injector()
+        self.faults: Optional[FaultInjector] = faults
 
     @property
     def plane(self) -> MessagePlane:
@@ -307,6 +317,33 @@ class SynchronousRuntime:
             )
             sent = np.flatnonzero(out_mask)
             round_messages = len(sent)
+
+            finite = np.isfinite(out_values[sent])
+            if not finite.all():
+                bad = sent[~finite]
+                obs.count("runtime.nonfinite_messages", len(bad))
+                agent_slots = bad[bad < plane.con_base]
+                owners = np.searchsorted(plane.agent_indptr, agent_slots, side="right") - 1
+                agent_ids = sorted({plane.comp.agents[int(i)] for i in owners})
+                relay_slots = int((bad >= plane.con_base).sum())
+                detail = f"agents {agent_ids[:5]!r}" if agent_ids else "no agent slots"
+                if relay_slots:
+                    detail += f", {relay_slots} relay slot(s)"
+                raise SimulationError(
+                    f"round {round_number}: {len(bad)} outgoing message(s) are "
+                    f"NaN/inf ({detail}); a non-finite value on the wire means "
+                    "the protocol state is corrupt — refusing to deliver it"
+                )
+
+            if self.faults is not None:
+                drop = self.faults.dropped_slots(round_number, plane.num_slots)
+                if drop:
+                    # Dropped messages were sent (counted above) but are
+                    # withheld from delivery, as if the link failed.
+                    drop_mask = np.isin(sent, np.fromiter(drop, dtype=np.int64))
+                    if drop_mask.any():
+                        obs.count("faults.dropped_messages", int(drop_mask.sum()))
+                        sent = sent[~drop_mask]
 
             inbox_mask, inbox_values = plane.empty_round()
             received = plane.reverse[sent]

@@ -18,13 +18,24 @@ tabulated afterwards.  This package turns that shape into infrastructure:
   :func:`ratio_sweep_batch` builder that
   :func:`repro.analysis.sweeps.run_ratio_sweep`, the ``maxmin-lp sweep`` CLI
   and the benchmarks delegate to.
+* :mod:`repro.engine.resilience` — :class:`RetryPolicy` (retries, backoff,
+  deadlines, backend downgrade) and :class:`BatchJournal` (the append-only
+  checkpoint behind ``run_batch(resume_from=...)``).  Fault *injection* —
+  the chaos-testing counterpart — lives in :mod:`repro.faults`.
 """
 
 from .batch import BatchResult, ratio_sweep_batch, run_batch
 from .cache import ResultCache
 from .executors import Executor, ParallelExecutor, SerialExecutor, default_executor
 from .job import BatchSpec, JobResult, JobSpec, make_jobs_for_instance
-from .registry import SOLVER_VERSIONS, execute_job, execute_jobs_batched, solver_version
+from .registry import (
+    SOLVER_VERSIONS,
+    execute_job,
+    execute_job_resilient,
+    execute_jobs_batched,
+    solver_version,
+)
+from .resilience import BatchJournal, RetryPolicy
 
 __all__ = [
     "JobSpec",
@@ -37,9 +48,12 @@ __all__ = [
     "ParallelExecutor",
     "default_executor",
     "ResultCache",
+    "RetryPolicy",
+    "BatchJournal",
     "run_batch",
     "ratio_sweep_batch",
     "execute_job",
+    "execute_job_resilient",
     "execute_jobs_batched",
     "solver_version",
     "SOLVER_VERSIONS",

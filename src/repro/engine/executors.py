@@ -24,11 +24,13 @@ from __future__ import annotations
 
 import abc
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..exceptions import EngineError
+from ..faults import FaultPlan
 from . import registry
 from .job import JobSpec, Record
 
@@ -36,6 +38,13 @@ __all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "default_executor"]
 
 #: Per-job metrics payload (see :func:`repro.engine.registry.execute_job_detailed`).
 JobMetrics = Dict[str, object]
+
+#: Streaming completion hook: ``on_result(position, records, metrics)`` is
+#: called once per job as its result lands in the parent process, in
+#: whatever order jobs complete (``position`` indexes into the submitted
+#: spec sequence).  ``run_batch`` uses it to checkpoint the journal and the
+#: result cache *during* the batch, so a killed run keeps its finished work.
+OnResult = Callable[[int, List[Record], Optional[JobMetrics]], None]
 
 
 class Executor(abc.ABC):
@@ -48,15 +57,30 @@ class Executor(abc.ABC):
         """Execute every spec; ``result[j]`` holds the records of ``specs[j]``."""
 
     def map_jobs_detailed(
-        self, specs: Sequence[JobSpec]
+        self,
+        specs: Sequence[JobSpec],
+        *,
+        faults: Optional[FaultPlan] = None,
+        on_result: Optional[OnResult] = None,
     ) -> Tuple[List[List[Record]], List[Optional[JobMetrics]]]:
         """Execute every spec, returning ``(records, metrics)`` per job.
 
         Base-class adapter for executors that only implement
         :meth:`map_jobs`: runs them unchanged and reports ``None`` metrics
         for every job (the engine then falls back to the amortised mean).
+        Fault injection needs executor cooperation, so a fault plan handed
+        to a classic executor is rejected rather than silently ignored;
+        ``on_result`` is honoured after the fact, in submission order.
         """
+        if faults is not None:
+            raise EngineError(
+                f"executor {self!r} predates fault injection; use "
+                "SerialExecutor or ParallelExecutor with a FaultPlan"
+            )
         outputs = self.map_jobs(specs)
+        if on_result is not None:
+            for position, records in enumerate(outputs):
+                on_result(position, records, None)
         return outputs, [None] * len(outputs)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -74,18 +98,36 @@ class SerialExecutor(Executor):
         return [registry.execute_job(spec) for spec in specs]
 
     def map_jobs_detailed(
-        self, specs: Sequence[JobSpec]
+        self,
+        specs: Sequence[JobSpec],
+        *,
+        faults: Optional[FaultPlan] = None,
+        on_result: Optional[OnResult] = None,
     ) -> Tuple[List[List[Record]], List[Optional[JobMetrics]]]:
         if type(self).map_jobs is not SerialExecutor.map_jobs:
             # A subclass customised the classic hook; honour its behaviour
             # (and its bugs — run_batch's alignment check must still fire).
-            return Executor.map_jobs_detailed(self, specs)
-        pairs = [registry.execute_job_detailed(spec) for spec in specs]
-        return [records for records, _ in pairs], [metrics for _, metrics in pairs]
+            return Executor.map_jobs_detailed(self, specs, faults=faults, on_result=on_result)
+        # There is no expendable process here, so crash faults surface as
+        # FaultInjectionError and become structured job failures.
+        injector = faults.injector(in_worker=False) if faults is not None else None
+        records_out: List[List[Record]] = []
+        metrics_out: List[Optional[JobMetrics]] = []
+        for position, spec in enumerate(specs):
+            records, metrics = registry.execute_job_resilient(spec, injector=injector)
+            records_out.append(records)
+            metrics_out.append(metrics)
+            if on_result is not None:
+                on_result(position, records, metrics)
+        return records_out, metrics_out
 
 
 def _run_chunk(
-    chunk_index: int, specs: List[JobSpec], with_obs: bool = False
+    chunk_index: int,
+    specs: List[JobSpec],
+    with_obs: bool = False,
+    plan: Optional[FaultPlan] = None,
+    dispatch_attempts: Optional[List[int]] = None,
 ) -> Tuple[int, List[Tuple[List[Record], JobMetrics]], Optional[Dict[str, object]]]:
     """Worker-side entry point: execute one contiguous chunk of jobs.
 
@@ -95,6 +137,11 @@ def _run_chunk(
     trace buffer for the chunk and returns the serialized snapshot (workers
     do not inherit the parent's tracing flag — pools may have been forked
     before the parent enabled it).
+
+    ``plan`` is the picklable fault script; the worker builds its own
+    injector (``in_worker=True``), so an injected crash genuinely kills
+    this process.  ``dispatch_attempts[j]`` is how often the parent has
+    already shipped job ``j`` after worker deaths — crash faults key on it.
     """
     if with_obs:
         obs.configure(enabled=True)
@@ -102,8 +149,15 @@ def _run_chunk(
         # resets on a disabled→enabled edge); start from a clean chunk-local
         # buffer or the snapshot would duplicate the parent's spans.
         obs.reset()
+    injector = plan.injector(in_worker=True) if plan is not None else None
+    attempts = dispatch_attempts or [0] * len(specs)
     try:
-        pairs = [registry.execute_job_detailed(spec) for spec in specs]
+        pairs = [
+            registry.execute_job_resilient(
+                spec, injector=injector, dispatch_attempt=attempt
+            )
+            for spec, attempt in zip(specs, attempts)
+        ]
         snapshot = obs.snapshot() if with_obs else None
     finally:
         if with_obs:
@@ -143,29 +197,67 @@ class ParallelExecutor(Executor):
             for start in range(0, len(specs), size)
         ]
 
+    #: Dispatches after which a crashing job is quarantined as poison.  A
+    #: group crash (whole pool breaks, every unfinished job is a suspect)
+    #: plus one crash in isolation — or two isolation crashes — attribute
+    #: the fault to the job definitively.
+    POISON_THRESHOLD = 2
+
     def map_jobs(self, specs: Sequence[JobSpec]) -> List[List[Record]]:
         return self.map_jobs_detailed(specs)[0]
 
     def map_jobs_detailed(
-        self, specs: Sequence[JobSpec]
+        self,
+        specs: Sequence[JobSpec],
+        *,
+        faults: Optional[FaultPlan] = None,
+        on_result: Optional[OnResult] = None,
     ) -> Tuple[List[List[Record]], List[Optional[JobMetrics]]]:
         if not specs:
             return [], []
         if self.max_workers == 1 or len(specs) == 1:
             # A one-worker pool would only add process overhead.
-            return SerialExecutor().map_jobs_detailed(specs)
+            return SerialExecutor().map_jobs_detailed(specs, faults=faults, on_result=on_result)
         chunks = self._chunks(specs)
+        size = self.chunk_size or max(1, -(-len(specs) // (self.max_workers * 4)))
         with_obs = obs.enabled()
-        outputs: List[Optional[List[Tuple[List[Record], JobMetrics]]]] = [None] * len(chunks)
+        n = len(specs)
+        records: List[Optional[List[Record]]] = [None] * n
+        metrics: List[Optional[JobMetrics]] = [None] * n
+        crash_counts = [0] * n
+        dispatch_attempts = [0] * n
         snapshots: List[Optional[Dict[str, object]]] = [None] * len(chunks)
+        suspects: "deque[int]" = deque()
+
+        def deliver(position: int, job_records: List[Record], job_metrics: JobMetrics) -> None:
+            records[position] = job_records
+            metrics[position] = job_metrics
+            if on_result is not None:
+                on_result(position, job_records, job_metrics)
+
+        # Pass 1: the normal chunked fan-out.  A worker death breaks the
+        # whole pool — the chunk that was running *and* every chunk still
+        # pending raise BrokenExecutor, and we cannot tell which job pulled
+        # the trigger.  All of their jobs become redispatch suspects with
+        # one crash on their record; completed futures keep their results.
         with ProcessPoolExecutor(max_workers=min(self.max_workers, len(chunks))) as pool:
             futures = [
-                pool.submit(_run_chunk, index, chunk, with_obs) for index, chunk in chunks
+                pool.submit(_run_chunk, index, chunk, with_obs, faults)
+                for index, chunk in chunks
             ]
-            for future in futures:
-                index, pairs, snapshot = future.result()
-                outputs[index] = pairs
+            for (index, chunk), future in zip(chunks, futures):
+                positions = [index * size + offset for offset in range(len(chunk))]
+                try:
+                    _, pairs, snapshot = future.result()
+                except BrokenExecutor:
+                    for position in positions:
+                        crash_counts[position] += 1
+                        dispatch_attempts[position] += 1
+                        suspects.append(position)
+                    continue
                 snapshots[index] = snapshot
+                for position, (job_records, job_metrics) in zip(positions, pairs):
+                    deliver(position, job_records, job_metrics)
         # Fold worker trace buffers into the parent collector in
         # chunk-submission order — deterministic regardless of completion
         # order; each chunk gets its own virtual process lane.
@@ -173,15 +265,80 @@ class ParallelExecutor(Executor):
             for index, snapshot in enumerate(snapshots):
                 if snapshot is not None:
                     obs.merge_snapshot(snapshot, proc=index + 1)
-        records: List[List[Record]] = []
-        metrics: List[Optional[JobMetrics]] = []
-        for pairs in outputs:
-            if pairs is None:  # pragma: no cover - defensive
-                raise EngineError("worker chunk vanished without a result")
-            for chunk_records, chunk_metrics in pairs:
-                records.append(chunk_records)
-                metrics.append(chunk_metrics)
-        return records, metrics
+
+        # Recovery: re-dispatch each suspect alone, on a one-worker pool, so
+        # a second crash attributes the fault to that job beyond doubt.  The
+        # pool is reused across suspects and recreated only after a break (a
+        # broken pool is unusable by contract).  Jobs whose crash count
+        # reaches POISON_THRESHOLD are quarantined as structured failures
+        # instead of raising — the rest of the batch still completes.
+        lane = len(chunks) + 1
+        recovery_pool: Optional[ProcessPoolExecutor] = None
+        try:
+            while suspects:
+                position = suspects.popleft()
+                obs.count("engine.redispatches")
+                if recovery_pool is None:
+                    recovery_pool = ProcessPoolExecutor(max_workers=1)
+                future = recovery_pool.submit(
+                    _run_chunk,
+                    0,
+                    [specs[position]],
+                    with_obs,
+                    faults,
+                    [dispatch_attempts[position]],
+                )
+                try:
+                    _, pairs, snapshot = future.result()
+                except BrokenExecutor:
+                    recovery_pool.shutdown(wait=False)
+                    recovery_pool = None
+                    crash_counts[position] += 1
+                    dispatch_attempts[position] += 1
+                    if crash_counts[position] >= self.POISON_THRESHOLD:
+                        obs.count("engine.poison_jobs")
+                        spec = specs[position]
+                        deliver(
+                            position,
+                            [],
+                            {
+                                "elapsed_s": 0.0,
+                                "attempts": dispatch_attempts[position],
+                                "redispatches": dispatch_attempts[position],
+                                "error": {
+                                    "type": "PoisonJobError",
+                                    "poison": True,
+                                    "message": (
+                                        f"job {spec.describe()} crashed "
+                                        f"{crash_counts[position]} workers; "
+                                        "quarantined as poison"
+                                    ),
+                                    "algorithm": spec.algorithm,
+                                    "digest": spec.instance_digest,
+                                    "params": spec.param_dict(),
+                                },
+                            },
+                        )
+                    else:
+                        suspects.append(position)
+                    continue
+                if with_obs and snapshot is not None:
+                    obs.merge_snapshot(snapshot, proc=lane)
+                    lane += 1
+                job_records, job_metrics = pairs[0]
+                job_metrics = dict(job_metrics)
+                job_metrics["redispatches"] = dispatch_attempts[position]
+                deliver(position, job_records, job_metrics)
+        finally:
+            if recovery_pool is not None:
+                recovery_pool.shutdown()
+
+        for position, job_records in enumerate(records):
+            if job_records is None:  # pragma: no cover - defensive
+                raise EngineError(
+                    f"job {specs[position].describe()} vanished without a result"
+                )
+        return records, metrics  # type: ignore[return-value]
 
 
 def default_executor(jobs: Optional[int] = None) -> Executor:

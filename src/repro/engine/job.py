@@ -14,10 +14,13 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.instance import MaxMinInstance
 from ..io.serialization import instance_digest, instance_to_json
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (resilience imports nothing back)
+    from .resilience import RetryPolicy
 
 __all__ = ["JobSpec", "JobResult", "BatchSpec", "make_jobs_for_instance"]
 
@@ -51,12 +54,21 @@ class JobSpec:
         Algorithm parameters as a canonical sorted tuple of pairs, e.g.
         ``(("R", 3), ("tu_method", "recursion"))``.  Values must be
         JSON-compatible so the cache key is stable across processes.
+    retry / timeout_s:
+        Optional per-job resilience policy (see
+        :class:`~repro.engine.resilience.RetryPolicy`) and per-attempt
+        deadline.  Both are *execution* knobs, not content: they never enter
+        the cache key, so a retried-and-recovered job lands on the same
+        cache entry as an untroubled one.  ``run_batch``-level policies fill
+        these in on jobs that don't carry their own.
     """
 
     instance_json: str
     instance_digest: str
     algorithm: str
     params: ParamItems = ()
+    retry: Optional["RetryPolicy"] = None
+    timeout_s: Optional[float] = None
 
     def param_dict(self) -> Dict[str, object]:
         """The parameters as a plain dictionary."""
@@ -92,6 +104,13 @@ class JobResult:
     (:func:`repro.obs.configure`) ``metrics["counters"]`` additionally holds
     the counter deltas attributable to this job.  ``metrics`` is ``None``
     for cache hits and for executors that predate the detailed protocol.
+
+    A job that exhausted its retries (or was quarantined as a poison job)
+    has ``error`` set to a structured, JSON-safe payload (``type`` /
+    ``message``, plus ``poison: True`` for quarantines) and ``records`` is
+    empty; ``attempts`` counts every try including the first.  Jobs read
+    back from a resume journal carry ``from_journal=True`` (and, like cache
+    hits, no metrics — nothing was executed).
     """
 
     spec: JobSpec
@@ -99,6 +118,14 @@ class JobResult:
     from_cache: bool = False
     elapsed_s: float = 0.0
     metrics: Optional[Dict[str, object]] = None
+    error: Optional[Dict[str, object]] = None
+    attempts: int = 1
+    from_journal: bool = False
+
+    @property
+    def failed(self) -> bool:
+        """Whether this job ended in a structured failure (no records)."""
+        return self.error is not None
 
 
 @dataclass

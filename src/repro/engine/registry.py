@@ -32,8 +32,10 @@ stale entries and nothing else.
 from __future__ import annotations
 
 import time
+import traceback
+from dataclasses import replace
 from functools import lru_cache
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..analysis.ratios import (
@@ -44,15 +46,18 @@ from ..analysis.ratios import (
 )
 from ..core.instance import MaxMinInstance
 from ..core.lp import LPResult, solve_maxmin_lp
-from ..exceptions import EngineError
+from ..exceptions import EngineError, JobTimeoutError
+from ..faults import FaultInjector
 from ..io.serialization import instance_from_json
 from .job import JobSpec, ParamItems, Record
+from .resilience import call_with_timeout
 
 __all__ = [
     "SOLVER_VERSIONS",
     "solver_version",
     "execute_job",
     "execute_job_detailed",
+    "execute_job_resilient",
     "execute_jobs_batched",
 ]
 
@@ -147,6 +152,154 @@ def execute_job_detailed(spec: JobSpec) -> Tuple[List[Record], Dict[str, object]
     if traced:
         metrics["counters"] = obs.counters_since(mark)
     return records, metrics
+
+
+def _structured_error(exc: BaseException, spec: JobSpec) -> Dict[str, object]:
+    """A JSON-safe description of a job failure (plus the live exception)."""
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "algorithm": spec.algorithm,
+        "digest": spec.instance_digest,
+        "params": dict(spec.params),
+        "traceback": "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)[-3:]
+        ),
+    }
+
+
+def _degraded_spec(spec: JobSpec) -> Optional[JobSpec]:
+    """The reference-backend fallback of a vectorized job, if one exists.
+
+    Only jobs actually running a compiled backend have a downgrade target;
+    the returned spec forces every backend knob to ``"reference"``.
+    """
+    params = spec.param_dict()
+    changed = False
+    for key in ("backend", "transform_backend"):
+        if key in params and str(params[key]) in ("vectorized", "auto"):
+            params[key] = "reference"
+            changed = True
+    if not changed:
+        return None
+    return replace(spec, params=tuple(sorted(params.items())))
+
+
+def execute_job_resilient(
+    spec: JobSpec,
+    *,
+    injector: Optional[FaultInjector] = None,
+    dispatch_attempt: int = 0,
+) -> Tuple[List[Record], Dict[str, object]]:
+    """Run one job under its retry/timeout policy; never raises for job errors.
+
+    The return shape matches :func:`execute_job_detailed` —
+    ``(records, metrics)`` — but a job that exhausts its attempts comes back
+    as ``([], metrics)`` with ``metrics["error"]`` holding the structured
+    failure (and ``metrics["exception"]`` the live exception object, so
+    ``run_batch(on_error="raise")`` can re-raise the original).  The caller
+    decides whether a failure aborts the batch; this function's contract is
+    that one bad job can never take down its siblings.
+
+    Retry accounting: ``metrics["attempts"]`` counts every try,
+    ``metrics["retries"]``/``metrics["timeouts"]`` the recoveries, and a
+    successful reference-backend fallback sets ``metrics["downgraded"]``.
+    Every solve still dispatches through the module-global
+    :func:`execute_job`, so monkeypatched spies intercept retried and
+    downgraded attempts alike.
+    """
+    policy = spec.retry
+    timeout_s = spec.timeout_s if spec.timeout_s is not None else (
+        policy.timeout_s if policy is not None else None
+    )
+    if policy is None and injector is None and timeout_s is None:
+        return execute_job_detailed(spec)  # the hot path stays untouched
+
+    attempts_allowed = 1 + (policy.max_retries if policy is not None else 0)
+    retries = 0
+    timeouts = 0
+    start = time.perf_counter()
+    error: Optional[BaseException] = None
+
+    for attempt in range(attempts_allowed):
+        def one_attempt(attempt: int = attempt) -> Tuple[List[Record], Dict[str, object]]:
+            if injector is not None:
+                injector.on_job_attempt(
+                    spec.algorithm,
+                    spec.instance_digest,
+                    spec.param_dict(),
+                    attempt,
+                    dispatch_attempt,
+                )
+            return execute_job_detailed(spec)
+
+        try:
+            records, metrics = call_with_timeout(one_attempt, timeout_s)
+        except JobTimeoutError as exc:
+            timeouts += 1
+            error = exc
+            obs.count("engine.timeouts")
+        except Exception as exc:  # noqa: BLE001 - structured failure below
+            error = exc
+        else:
+            metrics["attempts"] = attempt + 1
+            if retries:
+                metrics["retries"] = retries
+            if timeouts:
+                metrics["timeouts"] = timeouts
+            return records, metrics
+        if attempt + 1 < attempts_allowed:
+            retries += 1
+            obs.count("engine.retries")
+            delay = policy.delay_s(spec.instance_digest, attempt) if policy else 0.0
+            if delay > 0:
+                time.sleep(delay)
+
+    # Every in-place attempt failed.  Graceful degradation: one try on the
+    # reference backend, recorded as a downgrade (and never cached — the
+    # caller checks metrics["downgraded"]).
+    if policy is not None and policy.degrade_backend:
+        degraded = _degraded_spec(spec)
+        if degraded is not None:
+            def degraded_attempt() -> Tuple[List[Record], Dict[str, object]]:
+                if injector is not None:
+                    # The downgraded solve is still a solve: faults that match
+                    # its (reference-backend) coordinates fire here too, so a
+                    # genuinely-poisoned job cannot hide behind the fallback.
+                    injector.on_job_attempt(
+                        degraded.algorithm,
+                        degraded.instance_digest,
+                        degraded.param_dict(),
+                        attempts_allowed,
+                        dispatch_attempt,
+                    )
+                return execute_job_detailed(degraded)
+
+            try:
+                records, metrics = call_with_timeout(degraded_attempt, timeout_s)
+            except Exception as exc:  # noqa: BLE001 - keep the original error too
+                error = exc
+            else:
+                obs.count("engine.downgrades")
+                metrics["attempts"] = attempts_allowed + 1
+                metrics["retries"] = retries
+                if timeouts:
+                    metrics["timeouts"] = timeouts
+                metrics["downgraded"] = True
+                return records, metrics
+
+    obs.count("engine.job_failures")
+    assert error is not None  # the loop ran at least once
+    failure_metrics: Dict[str, object] = {
+        "elapsed_s": time.perf_counter() - start,
+        "attempts": attempts_allowed,
+        "retries": retries,
+        "error": _structured_error(error, spec),
+        "exception": error,
+    }
+    if timeouts:
+        failure_metrics["timeouts"] = timeouts
+    return [], failure_metrics
 
 
 def execute_jobs_batched(specs: Sequence[JobSpec]) -> List[List[Record]]:

@@ -1,0 +1,205 @@
+"""Resilience policies for the engine: retries, timeouts, checkpoints.
+
+Three pieces, shared by :func:`repro.engine.batch.run_batch`, the registry's
+resilient job executor and the executors:
+
+* :class:`RetryPolicy` — per-job retry/backoff/timeout knobs.  Backoff is
+  exponential with *deterministic* jitter: the jitter factor is derived from
+  a SHA-256 over ``(job digest, attempt)``, so two runs of the same batch
+  sleep the same amounts and the chaos-equivalence tests stay bit-stable.
+* :func:`call_with_timeout` — deadline enforcement for a single attempt.
+  The attempt runs on a daemon thread and the caller waits ``timeout_s``;
+  on expiry a :class:`~repro.exceptions.JobTimeoutError` is raised and the
+  abandoned attempt is left to finish in the background (Python offers no
+  safe preemption — the thread's eventual result is discarded).
+* :class:`BatchJournal` — an append-only JSONL checkpoint of completed job
+  keys and their records.  ``run_batch(resume_from=...)`` reads it back and
+  skips finished work, which is what makes a 500-job sweep survive a
+  mid-run ``kill -9`` with only the unfinished tail to re-execute.  Appends
+  are flushed and fsynced per entry; a torn final line (the crash case) is
+  ignored on load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .. import obs
+from ..exceptions import EngineError, JobTimeoutError
+
+__all__ = ["RetryPolicy", "BatchJournal", "call_with_timeout"]
+
+#: One flat sweep record (kept structural — importing ``.job`` here would be
+#: circular, since :class:`~repro.engine.job.JobSpec` carries a policy).
+Record = Dict[str, object]
+
+_JOURNAL_FORMAT = "repro.engine-journal"
+_JOURNAL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a single job may fail before it counts as failed.
+
+    Attributes
+    ----------
+    max_retries:
+        Extra attempts after the first (``2`` → up to three tries).
+    backoff_base_s / backoff_factor:
+        Sleep before retry ``k`` (0-based) is
+        ``backoff_base_s * backoff_factor**k``, jittered.
+    jitter:
+        Fractional jitter width: the delay is scaled by a deterministic
+        factor in ``[1 - jitter, 1 + jitter]`` derived from the job digest
+        and attempt number (no RNG state, reproducible across processes).
+    timeout_s:
+        Per-attempt deadline (``None`` = no deadline).  A job-level
+        ``JobSpec.timeout_s`` takes precedence over the policy's.
+    degrade_backend:
+        After every retry has failed, try the job **once** more on the
+        reference backend (``backend="reference"``) if it was running a
+        vectorized one.  The downgrade is recorded in the job's metrics and
+        the ``engine.downgrades`` counter; downgraded records are *not*
+        written to the result cache (the vectorized and reference backends
+        agree only to tolerance on the general path).
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+    timeout_s: Optional[float] = None
+    degrade_backend: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise EngineError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base_s < 0:
+            raise EngineError(f"backoff_base_s must be >= 0, got {self.backoff_base_s}")
+        if self.backoff_factor < 1.0:
+            raise EngineError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise EngineError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise EngineError(f"timeout_s must be > 0, got {self.timeout_s}")
+
+    def delay_s(self, token: str, attempt: int) -> float:
+        """The backoff before retrying ``attempt`` (0-based), jittered."""
+        base = self.backoff_base_s * self.backoff_factor ** attempt
+        if base <= 0 or self.jitter == 0:
+            return max(0.0, base)
+        digest = hashlib.sha256(f"{token}:{attempt}".encode("utf-8")).digest()
+        fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)  # [0, 1)
+        return base * (1.0 + self.jitter * (2.0 * fraction - 1.0))
+
+
+def call_with_timeout(fn, timeout_s: Optional[float]):
+    """Run ``fn()`` with a deadline; raise :class:`JobTimeoutError` on expiry.
+
+    Without a deadline the call is direct (zero overhead).  With one, the
+    attempt runs on a daemon thread; if it misses the deadline the thread is
+    abandoned — it keeps running to completion in the background, its result
+    discarded.  That is the honest Python trade-off: no preemption, so a
+    truly wedged attempt occupies its thread until the process exits.
+    """
+    if timeout_s is None:
+        return fn()
+    outcome: Dict[str, object] = {}
+    done = threading.Event()
+
+    def runner() -> None:
+        try:
+            outcome["value"] = fn()
+        except BaseException as exc:  # noqa: BLE001 - re-raised on the caller side
+            outcome["error"] = exc
+        finally:
+            done.set()
+
+    thread = threading.Thread(target=runner, name="repro-job-attempt", daemon=True)
+    thread.start()
+    if not done.wait(timeout_s):
+        raise JobTimeoutError(f"job attempt exceeded its {timeout_s}s deadline")
+    if "error" in outcome:
+        raise outcome["error"]  # type: ignore[misc]
+    return outcome["value"]
+
+
+class BatchJournal:
+    """Append-only JSONL checkpoint: one line per completed job.
+
+    Line 1 is a header (``format``/``version``); every further line is
+    ``{"key": <cache key>, "records": [...]}``.  Loading tolerates a torn
+    final line — exactly what a ``kill -9`` mid-append leaves behind — and
+    stops there, so everything before the tear still resumes.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._completed: Dict[str, List[Record]] = {}
+        self._load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if self._needs_header:
+            self._append_line({"format": _JOURNAL_FORMAT, "version": _JOURNAL_VERSION})
+
+    def _load(self) -> None:
+        self._needs_header = True
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except (OSError, ValueError):
+            return
+        for number, line in enumerate(text.splitlines()):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                # A torn tail from a killed writer; everything after it is
+                # untrustworthy, so stop here and recompute the rest.
+                obs.count("engine.journal_torn_lines")
+                break
+            if number == 0 and entry.get("format") == _JOURNAL_FORMAT:
+                if entry.get("version") != _JOURNAL_VERSION:
+                    raise EngineError(
+                        f"journal {str(self.path)!r} has version "
+                        f"{entry.get('version')!r}; this engine writes "
+                        f"version {_JOURNAL_VERSION}"
+                    )
+                self._needs_header = False
+                continue
+            key = entry.get("key")
+            records = entry.get("records")
+            if isinstance(key, str) and isinstance(records, list):
+                self._completed[key] = records
+
+    def _append_line(self, payload: Dict[str, object]) -> None:
+        self._handle.write(json.dumps(payload) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def completed(self, key: str) -> Optional[List[Record]]:
+        """The journaled records for ``key``, or ``None`` if not completed."""
+        return self._completed.get(key)
+
+    def record(self, key: str, records: List[Record]) -> None:
+        """Checkpoint one completed job (flushed + fsynced immediately)."""
+        if key in self._completed:
+            return
+        self._append_line({"key": key, "records": records})
+        self._completed[key] = records
+        obs.count("engine.journal_writes")
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BatchJournal({str(self.path)!r}, completed={len(self._completed)})"

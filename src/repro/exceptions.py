@@ -18,6 +18,8 @@ __all__ = [
     "SimulationError",
     "SerializationError",
     "EngineError",
+    "JobTimeoutError",
+    "FaultInjectionError",
 ]
 
 
@@ -81,4 +83,22 @@ class EngineError(ReproError):
 
     Examples: a job referencing an unregistered algorithm, a worker process
     dying mid-batch, or a corrupt result-cache entry that cannot be ignored.
+    """
+
+
+class JobTimeoutError(EngineError):
+    """Raised when a job exceeds its ``timeout_s`` deadline.
+
+    Counts as a failed attempt under the job's
+    :class:`~repro.engine.resilience.RetryPolicy`; with retries exhausted it
+    becomes the job's structured error.
+    """
+
+
+class FaultInjectionError(EngineError):
+    """Raised by :mod:`repro.faults` for injected transient failures.
+
+    Also stands in for an injected worker crash when the executor has no
+    expendable worker process (serial execution).  Never raised unless a
+    :class:`~repro.faults.FaultPlan` was explicitly plumbed into the run.
     """

@@ -1,0 +1,53 @@
+"""``repro.faults`` — deterministic fault injection for the execution layer.
+
+The paper's algorithms tolerate partial views by construction; this package
+makes the *execution* layer prove the same discipline.  A
+:class:`FaultPlan` scripts failures — worker crashes, hangs, transient
+solver errors, corrupted cache entries, dropped protocol messages — and a
+:class:`FaultInjector` fires them at explicit injection points in the
+engine registry, the :class:`~repro.engine.executors.ParallelExecutor`
+workers, the :class:`~repro.engine.cache.ResultCache` and the vectorized
+:class:`~repro.distributed.runtime.SynchronousRuntime`.
+
+Everything is stdlib-only and deterministically seeded: the same plan
+yields the same failures and, run through the resilient engine, the same
+records as a fault-free run (the chaos-equivalence contract pinned by
+``tests/test_faults.py`` and the CI chaos-smoke step).
+
+Typical use::
+
+    from repro import faults
+
+    plan = faults.FaultPlan(
+        seed=7,
+        job_faults=(
+            faults.crash(algorithm="local", digest_prefix=digest[:8]),
+            faults.transient(algorithm="safe", attempts=(0, 1)),
+        ),
+        cache_faults=(faults.CacheFault(mode="bitflip"),),
+    )
+    result = run_batch(batch, jobs=4, retry=RetryPolicy(max_retries=2),
+                       faults=plan, cache_dir="cache/")
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    CacheFault,
+    FaultPlan,
+    JobFault,
+    MessageFault,
+    crash,
+    hang,
+    transient,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "JobFault",
+    "CacheFault",
+    "MessageFault",
+    "crash",
+    "hang",
+    "transient",
+]

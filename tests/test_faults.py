@@ -1,0 +1,603 @@
+"""Fault-injection harness and resilient-engine contracts.
+
+The contracts, in decreasing order of importance:
+
+* **Chaos equivalence** — a seeded sweep that suffers a worker crash, a
+  transient solver error and a corrupted cache entry produces records
+  bitwise-identical to the fault-free run, with the recovery counters
+  (``engine.retries`` / ``engine.redispatches`` / ``cache.corrupt``)
+  proving the faults actually fired.
+* **Containment** — a poison job (crashes every worker it touches) becomes
+  a structured failure; its sibling jobs still complete.
+* **Resumability** — ``run_batch(resume_from=...)`` after a partial run
+  re-executes only the unfinished jobs (spy-counted: zero solver calls for
+  journaled work).
+* **Cache integrity** — truncated or bit-flipped entries are quarantined
+  and recomputed, never served.
+* **Runtime guards** — non-finite values on the vectorized wire raise with
+  round/agent attribution; injected message drops are deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.distributed import MessagePlane, RunResult, SynchronousRuntime, require_agent_outputs
+from repro.distributed import safe_agents as safe_agents_mod
+from repro.engine import (
+    BatchJournal,
+    BatchSpec,
+    ParallelExecutor,
+    ResultCache,
+    RetryPolicy,
+    SerialExecutor,
+    ratio_sweep_batch,
+    registry,
+    run_batch,
+)
+from repro.engine.executors import Executor
+from repro.exceptions import EngineError, FaultInjectionError, SimulationError
+from repro.faults import CacheFault, FaultPlan, JobFault, MessageFault, crash, hang, transient
+from repro.generators import cycle_instance, random_special_form_instance
+
+
+@pytest.fixture(autouse=True)
+def _obs_clean():
+    yield
+    obs.configure(enabled=False)
+    obs.reset()
+
+
+def small_instances():
+    return [
+        random_special_form_instance(8 + 2 * i, delta_K=3, constraint_rounds=1, seed=i)
+        for i in range(3)
+    ]
+
+
+def small_batch(instances=None):
+    return ratio_sweep_batch(instances or small_instances(), R_values=(2,), include_safe=True)
+
+
+# ----------------------------------------------------------------------
+# Fault plans: validation and determinism
+# ----------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_job_fault_validation(self):
+        with pytest.raises(EngineError):
+            JobFault(kind="meteor-strike")
+        with pytest.raises(EngineError):
+            JobFault(kind="hang", hang_s=0.0)
+
+    def test_cache_fault_validation(self):
+        with pytest.raises(EngineError):
+            CacheFault(mode="scramble")
+        with pytest.raises(EngineError):
+            CacheFault(times=0)
+
+    def test_message_fault_validation(self):
+        with pytest.raises(EngineError):
+            MessageFault(round_number=0)
+        with pytest.raises(EngineError):
+            MessageFault(round_number=1, fraction=1.5)
+
+    def test_job_fault_matching(self):
+        fault = transient(algorithm="safe", digest_prefix="ab", params=(("backend", "vectorized"),))
+        assert fault.matches("safe", "abc123", {"backend": "vectorized", "R": 2})
+        assert not fault.matches("local", "abc123", {"backend": "vectorized"})
+        assert not fault.matches("safe", "zzz", {"backend": "vectorized"})
+        assert not fault.matches("safe", "abc123", {"backend": "reference"})
+        assert fault.fires_on(0) and not fault.fires_on(1)
+        assert transient(attempts=None).fires_on(41)  # poison: every attempt
+
+    def test_dropped_slots_deterministic_across_injectors(self):
+        plan = FaultPlan(seed=5, message_faults=(MessageFault(round_number=2, fraction=0.4),))
+        a = plan.injector().dropped_slots(2, 50)
+        b = plan.injector().dropped_slots(2, 50)
+        assert a == b and a  # same sample from the same (seed, round)
+        assert plan.injector().dropped_slots(1, 50) is None  # other rounds untouched
+
+    def test_plan_is_picklable_and_describes_itself(self):
+        import pickle
+
+        plan = FaultPlan(seed=1, job_faults=(crash(), hang(0.1), transient()))
+        assert pickle.loads(pickle.dumps(plan)) == plan
+        assert "jobs=3" in plan.describe()
+
+
+# ----------------------------------------------------------------------
+# The headline acceptance test: chaos equivalence
+# ----------------------------------------------------------------------
+
+
+class TestChaosEquivalence:
+    def test_faulted_sweep_matches_fault_free_run_bitwise(self, tmp_path):
+        instances = small_instances()
+        batch = small_batch(instances)
+        baseline = run_batch(batch)
+        base_json = json.dumps(baseline.records)
+
+        # One worker crash (safe job of instance 0), one transient solver
+        # error (safe job of instance 1), one corrupted cache entry.
+        digest0 = batch.jobs[1].instance_digest[:12]
+        digest1 = batch.jobs[3].instance_digest[:12]
+        plan = FaultPlan(
+            seed=7,
+            job_faults=(
+                crash(algorithm="safe", digest_prefix=digest0, attempts=(0,)),
+                transient(algorithm="safe", digest_prefix=digest1, attempts=(0,)),
+            ),
+            cache_faults=(CacheFault(mode="truncate", times=1),),
+        )
+
+        obs.configure(enabled=True)
+        mark = obs.counters_mark()
+        chaos = run_batch(
+            batch,
+            executor=ParallelExecutor(max_workers=2, chunk_size=1),
+            cache=ResultCache(tmp_path / "cache", faults=plan),
+            faults=plan,
+            retry=RetryPolicy(max_retries=2, backoff_base_s=0.0),
+        )
+        counters = obs.counters_since(mark)
+        assert json.dumps(chaos.records) == base_json
+        assert counters.get("engine.retries", 0) > 0
+        assert counters.get("engine.redispatches", 0) > 0
+        assert counters.get("faults.transient", 0) > 0
+
+        # The corrupted entry is caught on the next run: quarantined,
+        # recomputed, and the records still match the fault-free baseline.
+        mark = obs.counters_mark()
+        verify_cache = ResultCache(tmp_path / "cache")
+        second = run_batch(batch, cache=verify_cache)
+        counters = obs.counters_since(mark)
+        assert json.dumps(second.records) == base_json
+        assert verify_cache.corrupt == 1
+        assert counters.get("cache.corrupt", 0) == 1
+        assert len(list((tmp_path / "cache" / "corrupt").glob("*.json"))) == 1
+
+
+# ----------------------------------------------------------------------
+# Retries, timeouts, degradation (serial path)
+# ----------------------------------------------------------------------
+
+
+class TestResilientExecution:
+    def test_transient_fault_is_retried_to_success(self):
+        batch = small_batch()
+        baseline = run_batch(batch)
+        plan = FaultPlan(job_faults=(transient(algorithm="safe", attempts=(0, 1)),))
+        result = run_batch(
+            batch, faults=plan, retry=RetryPolicy(max_retries=2, backoff_base_s=0.0)
+        )
+        assert result.records == baseline.records
+        safe_results = [r for r in result.results if r.spec.algorithm == "safe"]
+        assert all(r.attempts == 3 for r in safe_results)
+        assert result.metrics["retries"] == 6  # 2 recoveries x 3 safe jobs
+
+    def test_hang_blows_deadline_then_retry_succeeds(self):
+        batch = small_batch(small_instances()[:1])
+        baseline = run_batch(batch)
+        plan = FaultPlan(job_faults=(hang(5.0, algorithm="safe", attempts=(0,)),))
+        result = run_batch(
+            batch,
+            faults=plan,
+            retry=RetryPolicy(max_retries=1, backoff_base_s=0.0, timeout_s=0.2),
+        )
+        assert result.records == baseline.records
+        (safe_result,) = [r for r in result.results if r.spec.algorithm == "safe"]
+        assert safe_result.attempts == 2
+        assert safe_result.metrics["timeouts"] == 1
+        assert result.metrics["timeouts"] == 1
+
+    def test_exhausted_retries_raise_by_default(self):
+        batch = small_batch(small_instances()[:1])
+        plan = FaultPlan(job_faults=(transient(algorithm="safe", attempts=None),))
+        with pytest.raises(FaultInjectionError):
+            run_batch(batch, faults=plan, retry=RetryPolicy(max_retries=1, backoff_base_s=0.0))
+
+    def test_exhausted_retries_recorded_with_on_error_record(self):
+        batch = small_batch()
+        baseline = run_batch(batch)
+        plan = FaultPlan(job_faults=(transient(algorithm="safe", attempts=None),))
+        result = run_batch(
+            batch,
+            faults=plan,
+            retry=RetryPolicy(max_retries=1, backoff_base_s=0.0, degrade_backend=False),
+            on_error="record",
+        )
+        failed = result.failed_jobs
+        assert len(failed) == 3  # every safe job
+        for job in failed:
+            assert job.error["type"] == "FaultInjectionError"
+            assert job.records == [] and job.attempts == 2
+        survivors = [rec for r in result.results if not r.failed for rec in r.records]
+        expected = [
+            rec
+            for r in baseline.results
+            if r.spec.algorithm != "safe"
+            for rec in r.records
+        ]
+        assert survivors == expected
+        assert result.metrics["failed"] == 3
+
+    def test_degradation_falls_back_to_reference_backend(self, tmp_path):
+        batch = small_batch(small_instances()[:1])
+        baseline = run_batch(batch)
+        # The fault targets the vectorized backend on every attempt, so only
+        # the downgraded (reference) attempt can succeed.
+        plan = FaultPlan(
+            job_faults=(
+                transient(algorithm="safe", params=(("backend", "vectorized"),), attempts=None),
+            )
+        )
+        cache = ResultCache(tmp_path / "cache")
+        result = run_batch(
+            batch,
+            faults=plan,
+            cache=cache,
+            retry=RetryPolicy(max_retries=1, backoff_base_s=0.0, degrade_backend=True),
+        )
+        # The safe baseline's backends agree exactly, so even the downgraded
+        # record is bitwise-identical to the fault-free run.
+        assert result.records == baseline.records
+        (safe_result,) = [r for r in result.results if r.spec.algorithm == "safe"]
+        assert safe_result.metrics["downgraded"] is True
+        assert result.metrics["downgrades"] == 1
+        # Downgraded results are never cached: re-running against the same
+        # cache recomputes exactly the downgraded job.
+        rerun = run_batch(batch, cache=ResultCache(tmp_path / "cache"))
+        assert rerun.executed_jobs == 1
+
+    def test_retry_policy_validation_and_deterministic_jitter(self):
+        with pytest.raises(EngineError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(EngineError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(EngineError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(EngineError):
+            RetryPolicy(timeout_s=0.0)
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0, jitter=0.2)
+        delays = [policy.delay_s("digest", attempt) for attempt in range(3)]
+        assert delays == [policy.delay_s("digest", attempt) for attempt in range(3)]
+        for attempt, delay in enumerate(delays):
+            base = 0.1 * 2.0 ** attempt
+            assert base * 0.8 <= delay <= base * 1.2
+        assert policy.delay_s("digest", 0) != policy.delay_s("other", 0)
+
+
+# ----------------------------------------------------------------------
+# Worker-crash recovery and poison quarantine (parallel path)
+# ----------------------------------------------------------------------
+
+
+class TestCrashRecovery:
+    def test_crashed_chunk_is_redispatched(self):
+        batch = small_batch()
+        baseline = run_batch(batch)
+        plan = FaultPlan(job_faults=(crash(algorithm="safe", attempts=(0,)),))
+        obs.configure(enabled=True)
+        mark = obs.counters_mark()
+        result = run_batch(
+            batch, executor=ParallelExecutor(max_workers=2, chunk_size=2), faults=plan
+        )
+        counters = obs.counters_since(mark)
+        assert json.dumps(result.records) == json.dumps(baseline.records)
+        assert counters.get("engine.redispatches", 0) > 0
+        assert result.metrics["redispatches"] > 0
+
+    def test_poison_job_is_quarantined_and_siblings_complete(self):
+        batch = small_batch()
+        baseline = run_batch(batch)
+        poison_digest = batch.jobs[1].instance_digest[:12]
+        plan = FaultPlan(
+            job_faults=(crash(algorithm="safe", digest_prefix=poison_digest, attempts=None),)
+        )
+        obs.configure(enabled=True)
+        mark = obs.counters_mark()
+        result = run_batch(
+            batch,
+            executor=ParallelExecutor(max_workers=2, chunk_size=1),
+            faults=plan,
+            on_error="record",
+        )
+        counters = obs.counters_since(mark)
+        (failed,) = result.failed_jobs
+        assert failed.error["poison"] is True
+        assert failed.error["type"] == "PoisonJobError"
+        assert failed.spec.algorithm == "safe"
+        assert failed.spec.instance_digest.startswith(poison_digest)
+        assert counters.get("engine.poison_jobs", 0) == 1
+        survivors = [rec for r in result.results if not r.failed for rec in r.records]
+        expected = [
+            rec for r in baseline.results if r.spec != failed.spec for rec in r.records
+        ]
+        assert survivors == expected
+
+    def test_serial_executor_has_no_expendable_worker(self):
+        # A crash fault in a serial executor surfaces as FaultInjectionError
+        # (documented degradation) rather than killing the test process.
+        batch = small_batch(small_instances()[:1])
+        plan = FaultPlan(job_faults=(crash(algorithm="safe", attempts=None),))
+        result = run_batch(batch, faults=plan, on_error="record")
+        (failed,) = result.failed_jobs
+        assert failed.error["type"] == "FaultInjectionError"
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / resume
+# ----------------------------------------------------------------------
+
+
+class TestJournalResume:
+    def test_resume_skips_journaled_jobs(self, tmp_path, monkeypatch):
+        journal_path = tmp_path / "sweep.jsonl"
+        batch = small_batch()
+        baseline = run_batch(batch)
+
+        # Simulate a killed sweep: only the first four jobs completed.
+        partial = BatchSpec(jobs=batch.jobs[:4], owners=batch.owners[:4])
+        run_batch(partial, journal=journal_path)
+
+        calls = []
+        real_execute = registry.execute_job
+        monkeypatch.setattr(
+            registry, "execute_job", lambda spec: calls.append(spec) or real_execute(spec)
+        )
+        resumed = run_batch(batch, resume_from=journal_path)
+        assert resumed.records == baseline.records
+        assert resumed.journal_jobs == 4 and resumed.executed_jobs == 2
+        assert len(calls) == 2  # zero solver calls for the journaled jobs
+        journaled = [r for r in resumed.results if r.from_journal]
+        assert len(journaled) == 4 and all(not r.from_cache for r in journaled)
+
+    def test_journal_tolerates_torn_tail(self, tmp_path):
+        journal_path = tmp_path / "sweep.jsonl"
+        batch = small_batch()
+        run_batch(batch, journal=journal_path)
+        # A kill -9 mid-append leaves a torn final line.
+        with open(journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "deadbeef", "records": [{"tr')
+        journal = BatchJournal(journal_path)
+        assert len(journal) == len(batch.jobs)  # the tear is ignored, not fatal
+        journal.close()
+        resumed = run_batch(batch, resume_from=journal_path)
+        assert resumed.executed_jobs == 0 and resumed.journal_jobs == len(batch.jobs)
+
+    def test_journal_version_mismatch_raises(self, tmp_path):
+        journal_path = tmp_path / "sweep.jsonl"
+        journal_path.write_text(
+            json.dumps({"format": "repro.engine-journal", "version": 99}) + "\n"
+        )
+        with pytest.raises(EngineError, match="version"):
+            BatchJournal(journal_path)
+
+    def test_journal_and_resume_from_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(EngineError, match="same mechanism"):
+            run_batch(
+                small_batch(),
+                journal=tmp_path / "a.jsonl",
+                resume_from=tmp_path / "b.jsonl",
+            )
+
+
+# ----------------------------------------------------------------------
+# Cache integrity
+# ----------------------------------------------------------------------
+
+
+class TestCacheIntegrity:
+    KEY = "ab" * 32
+
+    def test_missing_entry_is_plain_miss_not_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get(self.KEY) is None
+        assert cache.misses == 1 and cache.corrupt == 0
+        assert not (tmp_path / "cache" / "corrupt").exists()
+
+    def test_truncated_entry_is_quarantined_and_heals(self, tmp_path):
+        plan = FaultPlan(cache_faults=(CacheFault(mode="truncate", times=1),))
+        writer = ResultCache(tmp_path / "cache", faults=plan)
+        writer.put(self.KEY, [{"x": 1}])
+
+        reader = ResultCache(tmp_path / "cache")
+        obs.configure(enabled=True)
+        mark = obs.counters_mark()
+        assert reader.get(self.KEY) is None
+        assert obs.counters_since(mark).get("cache.corrupt", 0) == 1
+        assert reader.corrupt == 1 and reader.misses == 1
+        assert (tmp_path / "cache" / "corrupt" / f"{self.KEY}.json").is_file()
+        assert self.KEY not in reader
+        # Self-heal: a clean rewrite hits again.
+        reader.put(self.KEY, [{"x": 1}])
+        assert reader.get(self.KEY) == [{"x": 1}]
+
+    def test_bitflip_is_caught_by_checksum(self, tmp_path):
+        plan = FaultPlan(seed=11, cache_faults=(CacheFault(mode="bitflip", times=1),))
+        writer = ResultCache(tmp_path / "cache", faults=plan)
+        writer.put(self.KEY, [{"utility": 0.25, "algorithm": "safe-degree"}])
+        reader = ResultCache(tmp_path / "cache")
+        assert reader.get(self.KEY) is None  # parseable or not, never served
+        assert reader.corrupt == 1
+
+    def test_stats_count_corruptions_and_exclude_quarantine(self, tmp_path):
+        plan = FaultPlan(cache_faults=(CacheFault(mode="truncate", times=1),))
+        cache = ResultCache(tmp_path / "cache", faults=plan)
+        cache.put(self.KEY, [{"x": 1}])  # corrupted on disk
+        cache.put("cd" * 32, [{"y": 2}])  # clean
+        reader = ResultCache(tmp_path / "cache")
+        assert reader.get(self.KEY) is None
+        assert reader.get("cd" * 32) == [{"y": 2}]
+        stats = reader.stats()
+        assert stats["corrupt"] == 1 and stats["hits"] == 1
+        assert stats["entries"] == 1  # the quarantined file is not an entry
+
+    def test_old_version_entries_read_as_plain_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        path = tmp_path / "cache" / self.KEY[:2] / f"{self.KEY}.json"
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro.engine-result",
+                    "version": 1,
+                    "key": self.KEY,
+                    "records": [{"x": 1}],
+                }
+            )
+        )
+        assert cache.get(self.KEY) is None
+        assert cache.corrupt == 0  # stale format, not corruption
+
+
+# ----------------------------------------------------------------------
+# Runtime guards (satellites)
+# ----------------------------------------------------------------------
+
+
+class _NaNAgentProtocol:
+    """Minimal protocol: agent 0 sends one non-finite value in round 2."""
+
+    def begin(self, plane):
+        pass
+
+    def compose(self, round_number, inbox_mask, inbox_values, plane):
+        mask = np.zeros(plane.num_slots, dtype=bool)
+        values = np.zeros(plane.num_slots)
+        if round_number == 2:
+            slot = int(plane.agent_indptr[0])  # agent 0's first port
+            mask[slot] = True
+            values[slot] = np.inf
+        return mask, values
+
+    def outputs(self, plane):
+        return np.zeros(len(plane.comp.agents))
+
+
+class TestRuntimeFaults:
+    def test_nonfinite_message_raises_with_round_and_agents(self):
+        instance = cycle_instance(6, coefficient_range=(0.5, 2.0), seed=3)
+        plane = MessagePlane(instance)
+        runtime = SynchronousRuntime(plane=plane)
+        obs.configure(enabled=True)
+        mark = obs.counters_mark()
+        with pytest.raises(SimulationError, match=r"round 2.*NaN/inf") as excinfo:
+            runtime.run_vectorized(_NaNAgentProtocol(), rounds=3)
+        assert repr(plane.comp.agents[0]) in str(excinfo.value)
+        assert obs.counters_since(mark).get("runtime.nonfinite_messages", 0) == 1
+
+    def test_message_drop_is_visible_to_the_protocol(self):
+        instance = cycle_instance(6, coefficient_range=(0.5, 2.0), seed=3)
+        plan = FaultPlan(seed=1, message_faults=(MessageFault(round_number=1, fraction=1.0),))
+        runtime = SynchronousRuntime(plane=MessagePlane(instance), faults=plan)
+        obs.configure(enabled=True)
+        mark = obs.counters_mark()
+        # The safe protocol notices the missing inbox slots and refuses to
+        # fabricate state — exactly the failure a lossy link should surface.
+        with pytest.raises(SimulationError):
+            runtime.run_vectorized(
+                safe_agents_mod.VectorizedSafeProtocol(),
+                rounds=safe_agents_mod.SAFE_ALGORITHM_ROUNDS,
+            )
+        assert obs.counters_since(mark).get("faults.dropped_messages", 0) > 0
+
+    def test_fault_free_plan_leaves_run_untouched(self):
+        instance = cycle_instance(6, coefficient_range=(0.5, 2.0), seed=3)
+        base = SynchronousRuntime(plane=MessagePlane(instance)).run_vectorized(
+            safe_agents_mod.VectorizedSafeProtocol(),
+            rounds=safe_agents_mod.SAFE_ALGORITHM_ROUNDS,
+        )
+        plan = FaultPlan(seed=1, message_faults=(MessageFault(round_number=99, fraction=1.0),))
+        faulted = SynchronousRuntime(plane=MessagePlane(instance), faults=plan).run_vectorized(
+            safe_agents_mod.VectorizedSafeProtocol(),
+            rounds=safe_agents_mod.SAFE_ALGORITHM_ROUNDS,
+        )
+        assert faulted.outputs == base.outputs
+        assert faulted.total_messages == base.total_messages
+
+    def test_require_agent_outputs_partially_missing(self):
+        instance = cycle_instance(5, seed=0)
+        full = {v: 1.0 for v in instance.agents}
+        result = RunResult(
+            outputs=dict(list(full.items())[:-2]),
+            rounds=1,
+            total_messages=0,
+            total_bytes=0,
+            per_round=[],
+            node_outputs={},
+        )
+        with pytest.raises(SimulationError, match="2 agent"):
+            require_agent_outputs(instance, result)
+        result_full = RunResult(
+            outputs=full, rounds=1, total_messages=0, total_bytes=0, per_round=[], node_outputs={}
+        )
+        require_agent_outputs(instance, result_full)  # no raise
+
+
+# ----------------------------------------------------------------------
+# Validation edges (satellites)
+# ----------------------------------------------------------------------
+
+
+class TestValidation:
+    def test_executor_configuration_negative_values(self):
+        with pytest.raises(EngineError, match="max_workers"):
+            ParallelExecutor(max_workers=-1)
+        with pytest.raises(EngineError, match="chunk_size"):
+            ParallelExecutor(chunk_size=-3)
+
+    def test_classic_executor_rejects_fault_plans(self):
+        class Classic(Executor):
+            def map_jobs(self, specs):
+                return [registry.execute_job(spec) for spec in specs]
+
+        with pytest.raises(EngineError, match="fault"):
+            run_batch(small_batch(), executor=Classic(), faults=FaultPlan())
+
+    def test_run_batch_rejects_unknown_on_error(self):
+        with pytest.raises(EngineError, match="on_error"):
+            run_batch(small_batch(), on_error="explode")
+
+    def test_batched_dispatch_rejects_resilience_knobs(self):
+        with pytest.raises(EngineError, match="batched"):
+            run_batch(small_batch(), dispatch="batched", retry=RetryPolicy())
+        with pytest.raises(EngineError, match="batched"):
+            run_batch(small_batch(), dispatch="batched", faults=FaultPlan())
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+
+
+class TestCLI:
+    def test_sweep_resume_from_journal(self, tmp_path, capsys):
+        from repro.cli import main
+
+        journal = tmp_path / "sweep.jsonl"
+        args = [
+            "sweep",
+            "cycle",
+            "--sizes",
+            "6",
+            "8",
+            "--r-values",
+            "2",
+            "--retries",
+            "1",
+            "--resume-from",
+            str(journal),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "4 executed" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 executed" in second and "4 journaled" in second

@@ -322,12 +322,12 @@ def test_custom_executor_subclass_still_runs_without_metrics():
 
 def test_result_cache_stats(tmp_path):
     cache = ResultCache(tmp_path / "cache")
-    assert cache.stats() == {"hits": 0, "misses": 0, "stores": 0, "entries": 0}
+    assert cache.stats() == {"hits": 0, "misses": 0, "stores": 0, "corrupt": 0, "entries": 0}
     assert cache.get("ab" * 32) is None
     cache.put("ab" * 32, [{"x": 1}])
     assert cache.get("ab" * 32) == [{"x": 1}]
     stats = cache.stats()
-    assert stats == {"hits": 1, "misses": 1, "stores": 1, "entries": 1}
+    assert stats == {"hits": 1, "misses": 1, "stores": 1, "corrupt": 0, "entries": 1}
 
 
 # ----------------------------------------------------------------------
