@@ -48,10 +48,13 @@ from .upper_bound import (
 
 __all__ = [
     "BatchedTrees",
+    "agent_hop_balls",
     "build_batched_trees",
     "batched_upper_bounds",
     "smooth_bounds_kernel",
+    "smooth_bounds_confined",
     "g_recursion_kernel",
+    "g_recursion_confined",
     "output_kernel",
 ]
 
@@ -570,3 +573,132 @@ def g_recursion_kernel(
 def output_kernel(g_plus: np.ndarray, g_minus: np.ndarray, R: int) -> np.ndarray:
     """Eq. 18: ``x_v = (1/2R) Σ_d (g⁺_{v,d} + g⁻_{v,d})`` — batched."""
     return (g_plus.sum(axis=0) + g_minus.sum(axis=0)) / (2.0 * R)
+
+
+# ----------------------------------------------------------------------
+# Confined (dirty-region) re-runs for the incremental solver
+# ----------------------------------------------------------------------
+def agent_hop_balls(
+    comp: CompiledInstance, seeds: np.ndarray, radii: List[int]
+) -> List[np.ndarray]:
+    """Balls around ``seeds`` in the agent-level smoothing adjacency — one BFS.
+
+    One hop of the smoothing adjacency (constraint partners ∪ objective
+    siblings) equals two communication-graph edges, so a ball of hop radius
+    ``h`` is the paper's graph-radius-``2h`` neighbourhood.  ``radii`` must be
+    non-decreasing; the return value holds one sorted agent-position array
+    per requested radius (each a superset of the previous — snapshots of a
+    single breadth-first expansion).  This is the locality machinery of the
+    incremental solver: §1.3's observation that an agent's output depends
+    only on its radius-O(R) neighbourhood, applied in reverse to bound which
+    outputs an edit can reach.
+    """
+    seeds = np.unique(np.asarray(seeds, dtype=np.int64))
+    if any(b < a for a, b in zip(radii, radii[1:])):
+        raise SolverError(f"agent_hop_balls radii must be non-decreasing, got {radii}")
+    n = comp.num_agents
+    visited = np.zeros(n, dtype=bool)
+    visited[seeds] = True
+    out: List[np.ndarray] = []
+    if not radii:
+        return out
+    indptr, indices = comp.smoothing_adjacency
+    deg = np.diff(indptr)
+    frontier = seeds
+    hop = 0
+    for radius in radii:
+        while hop < radius and len(frontier):
+            neigh = indices[_segment_gather(indptr[frontier], deg[frontier])]
+            frontier = np.unique(neigh[~visited[neigh]])
+            visited[frontier] = True
+            hop += 1
+        out.append(np.flatnonzero(visited))
+    return out
+
+
+def smooth_bounds_confined(
+    comp: CompiledInstance, t: np.ndarray, r: int, work: np.ndarray
+) -> np.ndarray:
+    """:func:`smooth_bounds_kernel` with propagation confined to ``work`` rows.
+
+    Returns a full-length array equal to ``t`` outside the active rows; the
+    caller splices only the positions whose 2r+1-hop ball lies inside
+    ``work`` (for splice set ``S`` that means ``work ⊇ ball(S, 2r+1)`` —
+    then every shortest path from a spliced agent to any ``t`` in its ball
+    stays within active rows and the confined min equals the global min).
+    ``s`` values are exact mins of ``t`` values, so any propagation schedule
+    that covers the ball yields the bitwise-identical float.
+    """
+    s = np.array(t, dtype=np.float64, copy=True)
+    if comp.num_agents == 0 or len(work) == 0:
+        return s
+    indptr, indices = comp.smoothing_adjacency
+    deg = np.diff(indptr)
+    active = work[deg[work] > 0]
+    if len(active) == 0:
+        return s
+    adeg = deg[active]
+    nb = indices[_segment_gather(indptr[active], adeg)]
+    seg = np.zeros(len(active), dtype=np.int64)
+    np.cumsum(adeg[:-1], out=seg[1:])
+    rounds = 0
+    for _ in range(2 * r + 1):
+        rounds += 1
+        neighbour_min = np.minimum.reduceat(s[nb], seg)
+        updated = np.minimum(s[active], neighbour_min)
+        if np.array_equal(updated, s[active]):
+            break
+        s[active] = updated
+    obs.count("kernels.smoothing_rounds", rounds)
+    obs.count("kernels.confined_smooth_rows", len(active))
+    return s
+
+
+def g_recursion_confined(
+    comp: CompiledInstance,
+    smoothed: np.ndarray,
+    r: int,
+    g_plus: np.ndarray,
+    g_minus: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """:func:`g_recursion_kernel` restricted to the ``out`` columns, in place.
+
+    Rewrites ``g_plus[:, out]`` / ``g_minus[:, out]`` for all depths, reading
+    retained values for partners / siblings outside ``out``.  Correct (and
+    bitwise identical to a full re-run) when the true ``g`` changes are
+    confined to ``out``'s interior: reads reach one hop outside ``out``,
+    where retained values equal a fresh solve's by assumption.  The sibling
+    sums accumulate via per-objective :func:`numpy.bincount` over the
+    *compacted* member edges of the objectives touching ``out`` — bincount
+    adds strictly in input (canonical member) order, so each per-objective
+    sum is the bitwise-identical float the full kernel's global bincount
+    produces (``np.add.reduceat`` would not be: pairwise association).
+    """
+    if len(out) == 0:
+        return
+    con_deg = np.diff(comp.con_indptr)[out]
+    flat = _segment_gather(comp.con_indptr[out], con_deg)
+    partner = comp.con_partner[flat]
+    p_coeff = comp.con_partner_coeff[flat]
+    s_coeff = comp.con_coeff[flat]
+    seg = np.zeros(len(out), dtype=np.int64)
+    np.cumsum(con_deg[:-1], out=seg[1:])
+
+    objs = np.unique(comp.obj_of_agent[out])
+    odeg = np.diff(comp.oagents_indptr)[objs]
+    omem = comp.oagents_indices[_segment_gather(comp.oagents_indptr[objs], odeg)]
+    oowner = np.repeat(np.arange(len(objs), dtype=np.int64), odeg)
+    obj_pos = np.searchsorted(objs, comp.obj_of_agent[out])
+
+    g_plus[0][out] = comp.capacity[out]
+    for d in range(r + 1):
+        if d >= 1:
+            gm_prev = g_minus[d - 1]
+            cand = (1.0 - p_coeff * gm_prev[partner]) / s_coeff
+            g_plus[d][out] = np.minimum.reduceat(cand, seg)
+        vals = g_plus[d]
+        per_objective = np.bincount(oowner, weights=vals[omem], minlength=len(objs))
+        sib = per_objective[obj_pos] - vals[out]
+        g_minus[d][out] = np.maximum(0.0, smoothed[out] - sib)
+    obs.count("kernels.confined_g_columns", len(out))

@@ -39,7 +39,13 @@ from ..core.validation import require_special_form
 from ..exceptions import InvalidInstanceError
 from .upper_bound import DEFAULT_BISECTION_TOL, compute_upper_bounds, smooth_upper_bounds
 
-__all__ = ["GRecursionValues", "SpecialFormSolveResult", "SpecialFormLocalSolver", "special_form_ratio"]
+__all__ = [
+    "GRecursionValues",
+    "IncrementalSolveState",
+    "SpecialFormSolveResult",
+    "SpecialFormLocalSolver",
+    "special_form_ratio",
+]
 
 
 def special_form_ratio(delta_K: int, R: int) -> float:
@@ -429,4 +435,159 @@ class SpecialFormLocalSolver:
         return (
             f"SpecialFormLocalSolver(R={self.R}, tu_method={self.tu_method!r}, "
             f"backend={self.backend!r})"
+        )
+
+
+class IncrementalSolveState:
+    """Retained kernel arrays of one instance, re-solvable per delta.
+
+    Holds the full §5 pipeline outputs (``t``, ``s``, ``g±``, ``x``) of the
+    vectorized backend and, given a
+    :class:`~repro.core.compiled.DeltaResult`, re-runs each stage only on
+    the dirty r-ball and splices the results back in:
+
+    * ``t`` on ``ball(seeds, 2r+1)`` hops — an edit can only reach trees
+      whose 2r+1-hop agent ball contains a changed agent;
+    * ``s`` on ``ball(seeds, 4r+2)`` — smoothing mins ``t`` over 2r+1 more
+      hops (propagation runs on the larger work ball so every confined min
+      equals the global one);
+    * ``g±`` and ``x`` on ``ball(seeds, 6r+3)`` — the ``g`` recursion reads
+      ``s`` through ``2r`` further hops, so no change escapes this ball and
+      reads one hop outside it see retained values a full re-solve would
+      reproduce bit for bit.
+
+    One smoothing-adjacency hop is two communication-graph edges, so the
+    output ball is graph radius ``12r + 6`` — exactly
+    :func:`~repro.distributed.dynamics.local_horizon_radius`, the paper's
+    §1.3 locality bound that :func:`measure_change_impact` checks
+    empirically.  The spliced state is bitwise identical to a from-scratch
+    vectorized solve of the edited instance (pinned by
+    ``tests/test_incremental.py``); per-tick cost is O(changed · r-ball)
+    instead of O(n).
+    """
+
+    __slots__ = ("solver", "instance", "comp", "t", "s", "g_plus", "g_minus", "x", "last_recompute")
+
+    def __init__(self, solver: SpecialFormLocalSolver, instance: MaxMinInstance) -> None:
+        if solver.backend != "vectorized":
+            raise ValueError("IncrementalSolveState requires the vectorized backend")
+        from .kernels import (
+            batched_upper_bounds,
+            g_recursion_kernel,
+            output_kernel,
+            smooth_bounds_kernel,
+        )
+
+        require_special_form(instance)
+        self.solver = solver
+        self.instance = instance
+        self.comp = instance.compiled()
+        r = solver.r
+        with obs.span("solve.special_form", backend="vectorized", agents=self.comp.num_agents):
+            with obs.span("kernels.upper_bounds"):
+                self.t = batched_upper_bounds(
+                    self.comp, r, method=solver.tu_method, tol=solver.tu_tol
+                )
+            with obs.span("kernels.smooth"):
+                self.s = smooth_bounds_kernel(self.comp, self.t, r)
+            with obs.span("kernels.g_recursion"):
+                self.g_plus, self.g_minus = g_recursion_kernel(self.comp, self.s, r)
+            with obs.span("kernels.output"):
+                self.x = output_kernel(self.g_plus, self.g_minus, solver.R)
+        self.last_recompute = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_agents(self) -> int:
+        return self.comp.num_agents
+
+    def result(self) -> SpecialFormSolveResult:
+        """Package the current state (copies — the state keeps mutating)."""
+        return self.solver._package_vectorized(
+            self.instance,
+            self.t.copy(),
+            self.s.copy(),
+            self.g_plus.copy(),
+            self.g_minus.copy(),
+            self.x.copy(),
+        )
+
+    def apply_delta(self, delta) -> "np.ndarray":
+        """Confined re-solve after a delta; returns the recomputed positions.
+
+        ``delta`` is the :class:`~repro.core.compiled.DeltaResult` of an
+        edit batch against ``self.instance``.  The retained arrays are
+        remapped to the new canonical order (dropped / added positions) and
+        every pipeline stage re-runs only on its dirty ball.
+        """
+        import numpy as np
+
+        from .kernels import (
+            agent_hop_balls,
+            batched_upper_bounds,
+            g_recursion_confined,
+            smooth_bounds_confined,
+        )
+
+        if delta.identity:
+            if delta.instance is not self.instance:
+                raise InvalidInstanceError("delta was built against a different instance")
+            self.last_recompute = np.zeros(0, dtype=np.int64)
+            return self.last_recompute
+        if len(delta.old_to_new_agent) != self.comp.num_agents:
+            raise InvalidInstanceError("delta does not match this state's instance")
+        new_inst = delta.instance
+        new_comp = delta.compiled
+        require_special_form(new_inst)
+        solver = self.solver
+        r = solver.r
+        n_new = new_comp.num_agents
+        o2n = delta.old_to_new_agent
+
+        with obs.span("solve.incremental", agents=n_new, dirty=len(delta.dirty_agents)):
+            if len(o2n) != n_new or not bool((o2n >= 0).all()):
+                # Node positions changed: scatter survivors into the new
+                # order; added positions are always inside the dirty balls
+                # and get rewritten by every stage below.
+                keep = np.flatnonzero(o2n >= 0)
+                dst = o2n[keep]
+                for attr in ("t", "s", "x"):
+                    remapped = np.empty(n_new, dtype=np.float64)
+                    remapped[dst] = getattr(self, attr)[keep]
+                    setattr(self, attr, remapped)
+                for attr in ("g_plus", "g_minus"):
+                    remapped = np.empty((r + 1, n_new), dtype=np.float64)
+                    remapped[:, dst] = getattr(self, attr)[:, keep]
+                    setattr(self, attr, remapped)
+            self.instance = new_inst
+            self.comp = new_comp
+
+            seeds = delta.dirty_agents
+            t_ball, s_ball, out_ball = agent_hop_balls(
+                new_comp, seeds, [2 * r + 1, 4 * r + 2, 6 * r + 3]
+            )
+            with obs.span("kernels.upper_bounds", trees=len(t_ball)):
+                self.t[t_ball] = batched_upper_bounds(
+                    new_comp, r, method=solver.tu_method, tol=solver.tu_tol, targets=t_ball
+                )
+            with obs.span("kernels.smooth"):
+                scratch = smooth_bounds_confined(new_comp, self.t, r, out_ball)
+                self.s[s_ball] = scratch[s_ball]
+            with obs.span("kernels.g_recursion"):
+                g_recursion_confined(new_comp, self.s, r, self.g_plus, self.g_minus, out_ball)
+            with obs.span("kernels.output"):
+                self.x[out_ball] = (
+                    self.g_plus[:, out_ball].sum(axis=0) + self.g_minus[:, out_ball].sum(axis=0)
+                ) / (2.0 * solver.R)
+
+        obs.count("solver.incremental_resolves")
+        obs.count("solver.incremental_recomputed", len(out_ball))
+        obs.count("solver.incremental_reused", n_new - len(out_ball))
+        self.last_recompute = out_ball
+        return out_ball
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IncrementalSolveState(R={self.solver.R}, agents={self.num_agents}, "
+            f"instance={self.instance.name!r})"
         )

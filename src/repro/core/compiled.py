@@ -29,16 +29,18 @@ Two layers are exposed:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..exceptions import NotSpecialFormError
+from ..exceptions import InvalidInstanceError, NotSpecialFormError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (instance imports us lazily)
+    from .._types import NodeId
     from .instance import MaxMinInstance
 
-__all__ = ["CompiledInstance", "CompiledBatch", "stack_compiled"]
+__all__ = ["CompiledInstance", "CompiledBatch", "CompiledDelta", "DeltaResult", "stack_compiled"]
 
 
 def _csr_from_rows(rows, index: Dict[object, int], coeff_lookup) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -60,6 +62,30 @@ def _csr_from_rows(rows, index: Dict[object, int], coeff_lookup) -> Tuple[np.nda
         np.asarray(indices, dtype=np.int64),
         np.asarray(coeffs, dtype=np.float64),
     )
+
+
+def _transpose_csr(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    coeff: np.ndarray,
+    num_target_rows: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reverse a forward CSR (owner → members) into member → owners arrays.
+
+    Both CSR families of an instance list row members in canonical order, so
+    the reverse rows must come out sorted by owner position within each
+    member row — exactly the order a stable ``(member, owner)`` lexsort
+    produces.  The result is bitwise identical to building the reverse CSR
+    from the instance's adjacency dicts with :func:`_csr_from_rows` (same
+    int64/float64 values, same order), which is what lets delta-edited
+    compiles reuse the forward arrays and derive the rest.
+    """
+    owner = np.repeat(np.arange(len(indptr) - 1, dtype=np.int64), np.diff(indptr))
+    order = np.lexsort((owner, indices))
+    t_indptr = np.zeros(num_target_rows + 1, dtype=np.int64)
+    if len(indices):
+        np.cumsum(np.bincount(indices, minlength=num_target_rows), out=t_indptr[1:])
+    return t_indptr, owner[order], coeff[order]
 
 
 class _SpecialFormView:
@@ -233,6 +259,54 @@ class CompiledInstance:
         self._cagents_owner = None
         self._oagents_owner = None
 
+    @classmethod
+    def from_arrays(
+        cls,
+        instance: "MaxMinInstance",
+        con_indptr: np.ndarray,
+        con_indices: np.ndarray,
+        con_coeff: np.ndarray,
+        obj_indptr: np.ndarray,
+        obj_indices: np.ndarray,
+        obj_coeff: np.ndarray,
+    ) -> "CompiledInstance":
+        """Build a compiled view directly from forward CSR arrays.
+
+        Trusted constructor for callers that already hold the per-agent
+        constraint / objective edge arrays in canonical adjacency order
+        (delta application, preprocessing) — the Python-loop lowering of
+        ``__init__`` is skipped entirely.  The reverse CSR families are
+        derived by :func:`_transpose_csr` and every array is bitwise
+        identical to a fresh ``CompiledInstance(instance)`` build.
+        """
+        self = cls.__new__(cls)
+        self.instance = instance
+        self.agents = instance.agents
+        self.constraints = instance.constraints
+        self.objectives = instance.objectives
+        self.agent_index = {v: idx for idx, v in enumerate(self.agents)}
+        self.constraint_index = {i: idx for idx, i in enumerate(self.constraints)}
+        self.objective_index = {k: idx for idx, k in enumerate(self.objectives)}
+        self.con_indptr = con_indptr
+        self.con_indices = con_indices
+        self.con_coeff = con_coeff
+        self.obj_indptr = obj_indptr
+        self.obj_indices = obj_indices
+        self.obj_coeff = obj_coeff
+        self.cagents_indptr, self.cagents_indices, self.cagents_coeff = _transpose_csr(
+            con_indptr, con_indices, con_coeff, len(self.constraints)
+        )
+        self.oagents_indptr, self.oagents_indices, self.oagents_coeff = _transpose_csr(
+            obj_indptr, obj_indices, obj_coeff, len(self.objectives)
+        )
+        self.capacity = self.agent_constraint_min(1.0 / self.con_coeff)
+        self._special = None
+        self._constraint_degrees = None
+        self._objective_degrees = None
+        self._cagents_owner = None
+        self._oagents_owner = None
+        return self
+
     # ------------------------------------------------------------------
     @property
     def num_agents(self) -> int:
@@ -367,12 +441,720 @@ class CompiledInstance:
         )
         return per_objective[obj_of_agent] - values
 
+    # ------------------------------------------------------------------
+    # Delta editing
+    # ------------------------------------------------------------------
+    def delta(self) -> "CompiledDelta":
+        """Start a :class:`CompiledDelta` edit batch against this view."""
+        return CompiledDelta(self)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"CompiledInstance({self.instance.name!r}, |V|={self.num_agents}, "
             f"|I|={self.num_constraints}, |K|={self.num_objectives}, "
             f"nnz={len(self.con_indices) + len(self.obj_indices)})"
         )
+
+
+class DeltaResult:
+    """Outcome of :meth:`CompiledDelta.apply`.
+
+    Attributes
+    ----------
+    instance, compiled:
+        The edited :class:`MaxMinInstance` and its (array-patched) compiled
+        view — bitwise and digest identical to re-lowering from scratch.
+    dirty_agents:
+        Sorted *new* agent positions whose local data changed: agents whose
+        own edge rows were edited plus every surviving member of a touched
+        constraint / objective (their capacities, partner coefficients or
+        sibling sets changed) plus added agents.  These are the seeds the
+        incremental solver expands to r-balls.
+    old_to_new_agent, old_to_new_constraint, old_to_new_objective:
+        Position maps over the *old* canonical orders (−1 for removed
+        nodes).  Survivors keep their relative order; added nodes follow.
+    changed_con_rows, changed_obj_rows:
+        Old agent positions (survivors only) whose constraint / objective
+        membership lists changed — the rows a :class:`MessagePlane` cannot
+        translate and must re-pair.
+    changed_constraints, changed_objectives:
+        Old constraint / objective positions (survivors only) whose member
+        lists changed.
+    structural:
+        False when every edit was a coefficient change on an existing edge
+        (topology identical — planes and slot layouts can be reused as-is).
+    num_edits:
+        Number of edit operations recorded on the delta.
+    """
+
+    __slots__ = (
+        "instance",
+        "compiled",
+        "dirty_agents",
+        "old_to_new_agent",
+        "old_to_new_constraint",
+        "old_to_new_objective",
+        "changed_con_rows",
+        "changed_obj_rows",
+        "changed_constraints",
+        "changed_objectives",
+        "structural",
+        "num_edits",
+    )
+
+    def __init__(
+        self,
+        instance: "MaxMinInstance",
+        compiled: "CompiledInstance",
+        dirty_agents: np.ndarray,
+        old_to_new_agent: np.ndarray,
+        old_to_new_constraint: np.ndarray,
+        old_to_new_objective: np.ndarray,
+        changed_con_rows: np.ndarray,
+        changed_obj_rows: np.ndarray,
+        changed_constraints: np.ndarray,
+        changed_objectives: np.ndarray,
+        structural: bool,
+        num_edits: int,
+    ) -> None:
+        self.instance = instance
+        self.compiled = compiled
+        self.dirty_agents = dirty_agents
+        self.old_to_new_agent = old_to_new_agent
+        self.old_to_new_constraint = old_to_new_constraint
+        self.old_to_new_objective = old_to_new_objective
+        self.changed_con_rows = changed_con_rows
+        self.changed_obj_rows = changed_obj_rows
+        self.changed_constraints = changed_constraints
+        self.changed_objectives = changed_objectives
+        self.structural = structural
+        self.num_edits = num_edits
+
+    @property
+    def identity(self) -> bool:
+        """True when the delta was empty (nothing changed)."""
+        return self.num_edits == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DeltaResult(edits={self.num_edits}, dirty={len(self.dirty_agents)}, "
+            f"structural={self.structural})"
+        )
+
+
+def _check_coefficient(label: str, value: float) -> float:
+    value = float(value)
+    if not math.isfinite(value) or value <= 0.0:
+        raise InvalidInstanceError(f"{label} = {value} must be positive and finite")
+    return value
+
+
+class CompiledDelta:
+    """A batch of edits against one :class:`CompiledInstance`.
+
+    Records edge additions / removals, coefficient changes and agent /
+    constraint / objective additions and removals, then :meth:`apply` patches
+    the base CSR arrays in one pass: untouched rows are block-copied with a
+    vectorized position remap, only the touched rows are rebuilt from their
+    edit dicts, and the reverse CSR families come from
+    :func:`_transpose_csr`.  The resulting instance + compiled view are
+    bitwise and digest identical to declaring the edited instance from
+    scratch (pinned by ``tests/test_incremental.py``), but cost
+    ``O(touched + E_copy_vectorized)`` instead of the full Python-loop
+    validation and lowering.
+
+    Coefficients are validated at edit time (the trusted
+    ``MaxMinInstance.from_arrays`` constructor skips re-validation), node
+    identifiers are resolved against the base instance plus this delta's own
+    additions, and constraints / objectives referenced by a ``set_*`` call
+    are created on first use.  Agents must exist or be declared via
+    :meth:`add_agent` first.  A delta is single-use: apply it once.
+    """
+
+    __slots__ = (
+        "base",
+        "instance",
+        "_removed_agents",
+        "_removed_constraints",
+        "_removed_objectives",
+        "_added_agents",
+        "_added_agent_pos",
+        "_added_constraints",
+        "_added_constraint_pos",
+        "_added_objectives",
+        "_added_objective_pos",
+        "_con_edits",
+        "_obj_edits",
+        "_num_edits",
+    )
+
+    def __init__(self, base: "CompiledInstance") -> None:
+        self.base = base
+        self.instance = base.instance
+        self._removed_agents: Set[int] = set()
+        self._removed_constraints: Set[int] = set()
+        self._removed_objectives: Set[int] = set()
+        self._added_agents: List["NodeId"] = []
+        self._added_agent_pos: Dict["NodeId", int] = {}
+        self._added_constraints: List["NodeId"] = []
+        self._added_constraint_pos: Dict["NodeId", int] = {}
+        self._added_objectives: List["NodeId"] = []
+        self._added_objective_pos: Dict["NodeId", int] = {}
+        # Final per-edge state keyed by provisional (node, agent) positions:
+        # a float sets the coefficient, None removes the edge.
+        self._con_edits: Dict[Tuple[int, int], Optional[float]] = {}
+        self._obj_edits: Dict[Tuple[int, int], Optional[float]] = {}
+        self._num_edits = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edits(self) -> int:
+        return self._num_edits
+
+    @property
+    def is_empty(self) -> bool:
+        return self._num_edits == 0
+
+    # ------------------------------------------------------------------
+    # Identifier resolution (provisional positions: old nodes keep their
+    # base position, nodes added by this delta follow after the old count).
+    # ------------------------------------------------------------------
+    def _agent_pos(self, v: "NodeId") -> int:
+        pos = self.base.agent_index.get(v)
+        if pos is not None:
+            if pos in self._removed_agents:
+                raise InvalidInstanceError(f"agent {v!r} was removed by this delta")
+            return pos
+        pos = self._added_agent_pos.get(v)
+        if pos is None:
+            raise InvalidInstanceError(
+                f"unknown agent {v!r} (declare it with add_agent first)"
+            )
+        return pos
+
+    def _constraint_pos(self, i: "NodeId", create: bool = False) -> int:
+        pos = self.base.constraint_index.get(i)
+        if pos is not None:
+            if pos in self._removed_constraints:
+                raise InvalidInstanceError(f"constraint {i!r} was removed by this delta")
+            return pos
+        pos = self._added_constraint_pos.get(i)
+        if pos is not None:
+            return pos
+        if not create:
+            raise InvalidInstanceError(f"unknown constraint {i!r}")
+        pos = self.base.num_constraints + len(self._added_constraints)
+        self._added_constraints.append(i)
+        self._added_constraint_pos[i] = pos
+        return pos
+
+    def _objective_pos(self, k: "NodeId", create: bool = False) -> int:
+        pos = self.base.objective_index.get(k)
+        if pos is not None:
+            if pos in self._removed_objectives:
+                raise InvalidInstanceError(f"objective {k!r} was removed by this delta")
+            return pos
+        pos = self._added_objective_pos.get(k)
+        if pos is not None:
+            return pos
+        if not create:
+            raise InvalidInstanceError(f"unknown objective {k!r}")
+        pos = self.base.num_objectives + len(self._added_objectives)
+        self._added_objectives.append(k)
+        self._added_objective_pos[k] = pos
+        return pos
+
+    # ------------------------------------------------------------------
+    # Edit operations
+    # ------------------------------------------------------------------
+    def add_agent(self, v: "NodeId") -> None:
+        """Declare a new agent (connect it with ``set_*_coefficient`` calls)."""
+        if v in self.base.agent_index:
+            if self.base.agent_index[v] in self._removed_agents:
+                raise InvalidInstanceError(
+                    f"agent {v!r} cannot be re-added in the delta that removes it"
+                )
+            raise InvalidInstanceError(f"agent {v!r} already exists")
+        if v in self._added_agent_pos:
+            raise InvalidInstanceError(f"agent {v!r} already added by this delta")
+        self._added_agent_pos[v] = self.base.num_agents + len(self._added_agents)
+        self._added_agents.append(v)
+        self._num_edits += 1
+
+    def remove_agent(self, v: "NodeId") -> None:
+        """Remove an agent and (implicitly) all of its edges."""
+        if v in self._added_agent_pos:
+            raise InvalidInstanceError(f"agent {v!r} was added by this delta; cannot remove it")
+        pos = self._agent_pos(v)
+        self._removed_agents.add(pos)
+        self._con_edits = {key: val for key, val in self._con_edits.items() if key[1] != pos}
+        self._obj_edits = {key: val for key, val in self._obj_edits.items() if key[1] != pos}
+        self._num_edits += 1
+
+    def remove_constraint(self, i: "NodeId") -> None:
+        """Remove a constraint and all of its edges."""
+        if i in self._added_constraint_pos:
+            raise InvalidInstanceError(
+                f"constraint {i!r} was added by this delta; cannot remove it"
+            )
+        pos = self._constraint_pos(i)
+        self._removed_constraints.add(pos)
+        self._con_edits = {key: val for key, val in self._con_edits.items() if key[0] != pos}
+        self._num_edits += 1
+
+    def remove_objective(self, k: "NodeId") -> None:
+        """Remove an objective and all of its edges."""
+        if k in self._added_objective_pos:
+            raise InvalidInstanceError(
+                f"objective {k!r} was added by this delta; cannot remove it"
+            )
+        pos = self._objective_pos(k)
+        self._removed_objectives.add(pos)
+        self._obj_edits = {key: val for key, val in self._obj_edits.items() if key[0] != pos}
+        self._num_edits += 1
+
+    def set_constraint_coefficient(self, i: "NodeId", v: "NodeId", coeff: float) -> None:
+        """Set ``a_iv`` (creates the edge, and the constraint, when absent)."""
+        coeff = _check_coefficient(f"constraint coefficient a[{i!r}, {v!r}]", coeff)
+        self._con_edits[(self._constraint_pos(i, create=True), self._agent_pos(v))] = coeff
+        self._num_edits += 1
+
+    def remove_constraint_edge(self, i: "NodeId", v: "NodeId") -> None:
+        """Remove the edge between constraint ``i`` and agent ``v``."""
+        key = (self._constraint_pos(i), self._agent_pos(v))
+        pending = self._con_edits.get(key, _MISSING)
+        if pending is None:
+            raise InvalidInstanceError(f"edge a[{i!r}, {v!r}] already removed by this delta")
+        if pending is _MISSING and self.instance.a(i, v) <= 0.0:
+            raise InvalidInstanceError(f"no edge a[{i!r}, {v!r}] to remove")
+        self._con_edits[key] = None
+        self._num_edits += 1
+
+    def set_objective_coefficient(self, k: "NodeId", v: "NodeId", coeff: float) -> None:
+        """Set ``c_kv`` (creates the edge, and the objective, when absent)."""
+        coeff = _check_coefficient(f"objective coefficient c[{k!r}, {v!r}]", coeff)
+        self._obj_edits[(self._objective_pos(k, create=True), self._agent_pos(v))] = coeff
+        self._num_edits += 1
+
+    def remove_objective_edge(self, k: "NodeId", v: "NodeId") -> None:
+        """Remove the edge between objective ``k`` and agent ``v``."""
+        key = (self._objective_pos(k), self._agent_pos(v))
+        pending = self._obj_edits.get(key, _MISSING)
+        if pending is None:
+            raise InvalidInstanceError(f"edge c[{k!r}, {v!r}] already removed by this delta")
+        if pending is _MISSING and self.instance.c(k, v) <= 0.0:
+            raise InvalidInstanceError(f"no edge c[{k!r}, {v!r}] to remove")
+        self._obj_edits[key] = None
+        self._num_edits += 1
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def apply(self, name: Optional[str] = None) -> "DeltaResult":
+        """Materialise the edited instance + compiled view (see class docs)."""
+        from .. import obs
+
+        base = self.base
+        inst = self.instance
+        nA, nC, nK = base.num_agents, base.num_constraints, base.num_objectives
+        if self._num_edits == 0:
+            identity_a = np.arange(nA, dtype=np.int64)
+            empty = np.zeros(0, dtype=np.int64)
+            return DeltaResult(
+                inst, base, empty, identity_a,
+                np.arange(nC, dtype=np.int64), np.arange(nK, dtype=np.int64),
+                empty, empty, empty, empty, False, 0,
+            )
+        obs.count("compiled.delta_applies")
+        obs.count("compiled.delta_edits", self._num_edits)
+
+        # --- position maps (provisional → new) -------------------------
+        o2n_a, p2n_a = _position_maps(nA, self._removed_agents, len(self._added_agents))
+        o2n_c, p2n_c = _position_maps(nC, self._removed_constraints, len(self._added_constraints))
+        o2n_k, p2n_k = _position_maps(nK, self._removed_objectives, len(self._added_objectives))
+
+        # --- classify edits against the base ---------------------------
+        con = _classify_edits(
+            self._con_edits, nC, nA,
+            lambda ci, av: inst.a(base.constraints[ci], base.agents[av]),
+            self._removed_agents, self._removed_constraints,
+        )
+        obj = _classify_edits(
+            self._obj_edits, nK, nA,
+            lambda ki, av: inst.c(base.objectives[ki], base.agents[av]),
+            self._removed_agents, self._removed_objectives,
+        )
+        structural = bool(
+            con.structural_rows or obj.structural_rows
+            or self._removed_agents or self._removed_constraints or self._removed_objectives
+            or self._added_agents or self._added_constraints or self._added_objectives
+        )
+
+        if not structural:
+            new_inst, new_comp = self._apply_coefficient_only(con, obj, name)
+            seeds = set(con.rows_to_rebuild) | set(obj.rows_to_rebuild)
+            touched_c = np.asarray(sorted(con.touched_owners), dtype=np.int64)
+            touched_k = np.asarray(sorted(obj.touched_owners), dtype=np.int64)
+            seeds.update(_row_members(base.cagents_indptr, base.cagents_indices, touched_c).tolist())
+            seeds.update(_row_members(base.oagents_indptr, base.oagents_indices, touched_k).tolist())
+            dirty = np.asarray(sorted(seeds), dtype=np.int64)
+            obs.count("compiled.delta_dirty_agents", len(dirty))
+            empty = np.zeros(0, dtype=np.int64)
+            return DeltaResult(
+                new_inst, new_comp, dirty, o2n_a, o2n_c, o2n_k,
+                empty, empty, empty, empty, False, self._num_edits,
+            )
+
+        removed_a = np.asarray(sorted(self._removed_agents), dtype=np.int64)
+        # Constraints / objectives losing a member through agent removal.
+        con.structural_owners.update(
+            _row_members(base.con_indptr, base.con_indices, removed_a).tolist()
+        )
+        obj.structural_owners.update(
+            _row_members(base.obj_indptr, base.obj_indices, removed_a).tolist()
+        )
+        # Surviving members of removed constraints / objectives see their own
+        # forward rows change — and are dirty either way.
+        con.structural_owners.update(self._removed_constraints)
+        obj.structural_owners.update(self._removed_objectives)
+        rm_c = np.asarray(sorted(self._removed_constraints), dtype=np.int64)
+        rm_k = np.asarray(sorted(self._removed_objectives), dtype=np.int64)
+        con.structural_rows.update(
+            _row_members(base.cagents_indptr, base.cagents_indices, rm_c).tolist()
+        )
+        obj.structural_rows.update(
+            _row_members(base.oagents_indptr, base.oagents_indices, rm_k).tolist()
+        )
+
+        # --- patch the forward CSR families -----------------------------
+        new_agents = _new_nodes(base.agents, o2n_a, self._added_agents)
+        new_cons = _new_nodes(base.constraints, o2n_c, self._added_constraints)
+        new_objs = _new_nodes(base.objectives, o2n_k, self._added_objectives)
+        n_new_agents = len(new_agents)
+
+        con_arrays = self._patch_forward(
+            base.con_indptr, base.con_indices, base.con_coeff,
+            con, o2n_a, p2n_c, self._removed_constraints, n_new_agents,
+        )
+        obj_arrays = self._patch_forward(
+            base.obj_indptr, base.obj_indices, base.obj_coeff,
+            obj, o2n_a, p2n_k, self._removed_objectives, n_new_agents,
+        )
+
+        from .instance import MaxMinInstance
+
+        new_inst = MaxMinInstance.from_arrays(
+            new_agents, new_cons, new_objs, *con_arrays, *obj_arrays,
+            name=inst.name if name is None else name,
+        )
+        new_comp = new_inst.compiled()
+
+        # --- dirty seeds -------------------------------------------------
+        seeds: Set[int] = set()
+        seeds.update(row for row in con.rows_to_rebuild if row < nA)
+        seeds.update(row for row in obj.rows_to_rebuild if row < nA)
+        touched_c = np.asarray(
+            sorted(o for o in (con.touched_owners | con.structural_owners) if o < nC),
+            dtype=np.int64,
+        )
+        touched_k = np.asarray(
+            sorted(o for o in (obj.touched_owners | obj.structural_owners) if o < nK),
+            dtype=np.int64,
+        )
+        seeds.update(_row_members(base.cagents_indptr, base.cagents_indices, touched_c).tolist())
+        seeds.update(_row_members(base.oagents_indptr, base.oagents_indices, touched_k).tolist())
+        seeds -= self._removed_agents
+        seed_old = np.asarray(sorted(seeds), dtype=np.int64)
+        dirty_parts = [o2n_a[seed_old]] if len(seed_old) else []
+        if self._added_agents:
+            n_keep = n_new_agents - len(self._added_agents)
+            dirty_parts.append(np.arange(n_keep, n_new_agents, dtype=np.int64))
+        dirty = (
+            np.unique(np.concatenate(dirty_parts)) if dirty_parts else np.zeros(0, dtype=np.int64)
+        )
+        obs.count("compiled.delta_dirty_agents", len(dirty))
+
+        def _surviving(rows: Set[int], o2n: np.ndarray, limit: int) -> np.ndarray:
+            keep = sorted(r for r in rows if r < limit and o2n[r] >= 0)
+            return np.asarray(keep, dtype=np.int64)
+
+        return DeltaResult(
+            new_inst,
+            new_comp,
+            dirty,
+            o2n_a,
+            o2n_c,
+            o2n_k,
+            _surviving(con.structural_rows, o2n_a, nA),
+            _surviving(obj.structural_rows, o2n_a, nA),
+            _surviving(con.structural_owners, o2n_c, nC),
+            _surviving(obj.structural_owners, o2n_k, nK),
+            structural,
+            self._num_edits,
+        )
+
+    def _apply_coefficient_only(
+        self, con: "_EditPlan", obj: "_EditPlan", name: Optional[str]
+    ) -> Tuple["MaxMinInstance", "CompiledInstance"]:
+        """Non-structural fast path: every edit is a coefficient update on an
+        existing edge, so all topology-derived structures — node tuples, index
+        dicts, every indptr / indices array, the adjacency maps, and the
+        special-form view's partner / adjacency arrays — are *shared* with the
+        base.  Only the coefficient arrays, the capacity vector and the
+        coefficient dicts are copied and patched, making a single-edge edit
+        ``O(degree)`` instead of ``O(E)``.  Dict updates hit existing keys
+        only, so insertion order (and with it repr / digest / equality) is
+        preserved exactly.
+        """
+        from .. import obs
+        from .instance import MaxMinInstance
+
+        base = self.base
+        inst = self.instance
+        obs.count("compiled.delta_coeff_fast_paths")
+
+        new_a = dict(inst._a)
+        new_c = dict(inst._c)
+        con_coeff = base.con_coeff.copy()
+        obj_coeff = base.obj_coeff.copy()
+        cagents_coeff = base.cagents_coeff.copy()
+        oagents_coeff = base.oagents_coeff.copy()
+        sp = base._special
+        partner_coeff = sp.con_partner_coeff.copy() if sp is not None else None
+
+        def _slot(indptr: np.ndarray, indices: np.ndarray, row: int, member: int) -> int:
+            lo, hi = int(indptr[row]), int(indptr[row + 1])
+            return lo + int(np.flatnonzero(indices[lo:hi] == member)[0])
+
+        touched_agents: Set[int] = set()
+        for row, row_edits in con.by_row.items():
+            touched_agents.add(row)
+            for (ci, av), val in row_edits.items():
+                con_coeff[_slot(base.con_indptr, base.con_indices, av, ci)] = val
+                cagents_coeff[_slot(base.cagents_indptr, base.cagents_indices, ci, av)] = val
+                new_a[(base.constraints[ci], base.agents[av])] = val
+                if partner_coeff is not None:
+                    lo, hi = int(base.cagents_indptr[ci]), int(base.cagents_indptr[ci + 1])
+                    for w in base.cagents_indices[lo:hi].tolist():
+                        # The *partner's* slot on this constraint now sees
+                        # the edited coefficient behind the shared edge.
+                        if w != av:
+                            partner_coeff[_slot(base.con_indptr, base.con_indices, w, ci)] = val
+        for row, row_edits in obj.by_row.items():
+            for (ki, av), val in row_edits.items():
+                obj_coeff[_slot(base.obj_indptr, base.obj_indices, av, ki)] = val
+                oagents_coeff[_slot(base.oagents_indptr, base.oagents_indices, ki, av)] = val
+                new_c[(base.objectives[ki], base.agents[av])] = val
+
+        capacity = base.capacity.copy()
+        for av in touched_agents:
+            lo, hi = int(base.con_indptr[av]), int(base.con_indptr[av + 1])
+            if hi > lo:
+                capacity[av] = np.minimum.reduceat(1.0 / con_coeff[lo:hi], [0])[0]
+
+        new_inst = MaxMinInstance.__new__(MaxMinInstance)
+        new_inst._agents = inst._agents
+        new_inst._constraints = inst._constraints
+        new_inst._objectives = inst._objectives
+        new_inst.name = inst.name if name is None else name
+        new_inst._a = new_a
+        new_inst._c = new_c
+        new_inst._agents_of_constraint = inst._agents_of_constraint
+        new_inst._agents_of_objective = inst._agents_of_objective
+        new_inst._constraints_of_agent = inst._constraints_of_agent
+        new_inst._objectives_of_agent = inst._objectives_of_agent
+        new_inst._agent_set = inst._agent_set
+        new_inst._constraint_set = inst._constraint_set
+        new_inst._objective_set = inst._objective_set
+        new_inst._graph_cache = None  # nx edges carry the (edited) coefficients
+        new_inst._transform_cache = None
+        new_inst._preprocess_cache = None
+
+        new_comp = CompiledInstance.__new__(CompiledInstance)
+        new_comp.instance = new_inst
+        new_comp.agents = base.agents
+        new_comp.constraints = base.constraints
+        new_comp.objectives = base.objectives
+        new_comp.agent_index = base.agent_index
+        new_comp.constraint_index = base.constraint_index
+        new_comp.objective_index = base.objective_index
+        new_comp.con_indptr = base.con_indptr
+        new_comp.con_indices = base.con_indices
+        new_comp.con_coeff = con_coeff
+        new_comp.obj_indptr = base.obj_indptr
+        new_comp.obj_indices = base.obj_indices
+        new_comp.obj_coeff = obj_coeff
+        new_comp.cagents_indptr = base.cagents_indptr
+        new_comp.cagents_indices = base.cagents_indices
+        new_comp.cagents_coeff = cagents_coeff
+        new_comp.oagents_indptr = base.oagents_indptr
+        new_comp.oagents_indices = base.oagents_indices
+        new_comp.oagents_coeff = oagents_coeff
+        new_comp.capacity = capacity
+        new_comp._constraint_degrees = base._constraint_degrees
+        new_comp._objective_degrees = base._objective_degrees
+        new_comp._cagents_owner = base._cagents_owner
+        new_comp._oagents_owner = base._oagents_owner
+        if sp is not None:
+            view = _SpecialFormView.__new__(_SpecialFormView)
+            view.con_partner = sp.con_partner
+            view.con_partner_coeff = partner_coeff
+            view.obj_of_agent = sp.obj_of_agent
+            view.adj_indptr = sp.adj_indptr
+            view.adj_indices = sp.adj_indices
+            new_comp._special = view
+        else:
+            new_comp._special = None
+        new_inst._compiled_cache = new_comp
+        return new_inst, new_comp
+
+    def _patch_forward(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        coeff: np.ndarray,
+        edits: "_EditPlan",
+        o2n_row: np.ndarray,
+        p2n_member: np.ndarray,
+        removed_members: Set[int],
+        n_new_rows: int,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """New forward CSR: block-copy clean rows, rebuild touched rows."""
+        n_old = len(indptr) - 1
+        old_deg = np.diff(indptr)
+        # Rows to rebuild: edited rows + rows that lost a member + added rows.
+        rebuild_old = sorted(
+            row for row in (edits.rows_to_rebuild | edits.structural_rows)
+            if row < n_old and row not in self._removed_agents
+        )
+        rebuild_set = set(rebuild_old)
+        survivors = np.flatnonzero(o2n_row[:n_old] >= 0) if n_old else np.zeros(0, dtype=np.int64)
+        clean_old = (
+            survivors[~np.isin(survivors, np.asarray(rebuild_old, dtype=np.int64))]
+            if rebuild_old
+            else survivors
+        )
+
+        built: Dict[int, Tuple[List[int], List[float]]] = {}
+        member_map = p2n_member  # provisional member position → new position
+        indptr_l = indptr
+        for row in rebuild_old:
+            lo, hi = int(indptr_l[row]), int(indptr_l[row + 1])
+            entries = {
+                int(m): float(c)
+                for m, c in zip(indices[lo:hi].tolist(), coeff[lo:hi].tolist())
+                if int(m) not in removed_members
+            }
+            for (owner, agent), val in edits.by_row.get(row, {}).items():
+                if val is None:
+                    entries.pop(owner, None)
+                else:
+                    entries[owner] = val
+            items = sorted((int(member_map[m]), c) for m, c in entries.items())
+            built[int(o2n_row[row])] = ([m for m, _ in items], [c for _, c in items])
+        n_keep = int(len(survivors))
+        for j, _ in enumerate(self._added_agents):
+            prov = n_old + j
+            entries_add = {
+                owner: val
+                for (owner, agent), val in edits.by_row.get(prov, {}).items()
+                if val is not None
+            }
+            items = sorted((int(member_map[m]), c) for m, c in entries_add.items())
+            built[n_keep + j] = ([m for m, _ in items], [c for _, c in items])
+
+        counts = np.zeros(n_new_rows, dtype=np.int64)
+        clean_new = o2n_row[clean_old]
+        counts[clean_new] = old_deg[clean_old]
+        for new_row, (members, _) in built.items():
+            counts[new_row] = len(members)
+        new_indptr = np.zeros(n_new_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=new_indptr[1:])
+        total = int(new_indptr[-1])
+        new_indices = np.empty(total, dtype=np.int64)
+        new_coeff = np.empty(total, dtype=np.float64)
+        if len(clean_old):
+            dst = _segment_gather(new_indptr[clean_new], old_deg[clean_old])
+            src = _segment_gather(indptr[clean_old], old_deg[clean_old])
+            new_indices[dst] = member_map[indices[src]]
+            new_coeff[dst] = coeff[src]
+        for new_row, (members, coeffs) in built.items():
+            lo = int(new_indptr[new_row])
+            new_indices[lo : lo + len(members)] = members
+            new_coeff[lo : lo + len(members)] = coeffs
+        return new_indptr, new_indices, new_coeff
+
+
+#: Sentinel distinguishing "no pending edit" from "pending removal" (None).
+_MISSING = object()
+
+
+class _EditPlan:
+    """Edit classification for one CSR side (see :meth:`CompiledDelta.apply`)."""
+
+    __slots__ = ("by_row", "rows_to_rebuild", "structural_rows", "touched_owners", "structural_owners")
+
+    def __init__(self) -> None:
+        # agent provisional position → {(owner, agent) key → value}
+        self.by_row: Dict[int, Dict[Tuple[int, int], Optional[float]]] = {}
+        self.rows_to_rebuild: Set[int] = set()
+        self.structural_rows: Set[int] = set()
+        self.touched_owners: Set[int] = set()
+        self.structural_owners: Set[int] = set()
+
+
+def _classify_edits(
+    edits: Dict[Tuple[int, int], Optional[float]],
+    n_owner_old: int,
+    n_agent_old: int,
+    base_coeff,
+    removed_agents: Set[int],
+    removed_owners: Set[int],
+) -> _EditPlan:
+    plan = _EditPlan()
+    for (owner, agent), val in edits.items():
+        if agent in removed_agents or owner in removed_owners:
+            continue  # edits are dropped at removal time; belt and braces
+        existed = owner < n_owner_old and agent < n_agent_old and base_coeff(owner, agent) > 0.0
+        if val is None and not existed:
+            continue  # add-then-remove inside one delta: net no-op
+        plan.by_row.setdefault(agent, {})[(owner, agent)] = val
+        plan.rows_to_rebuild.add(agent)
+        plan.touched_owners.add(owner)
+        if val is None or not existed:
+            plan.structural_rows.add(agent)
+            plan.structural_owners.add(owner)
+    return plan
+
+
+def _position_maps(n_old: int, removed: Set[int], n_added: int) -> Tuple[np.ndarray, np.ndarray]:
+    """``(old → new, provisional → new)`` position maps (−1 = removed)."""
+    o2n = np.full(n_old, -1, dtype=np.int64)
+    if removed:
+        keep = np.ones(n_old, dtype=bool)
+        keep[np.asarray(sorted(removed), dtype=np.int64)] = False
+        kept = np.flatnonzero(keep)
+    else:
+        kept = np.arange(n_old, dtype=np.int64)
+    o2n[kept] = np.arange(len(kept), dtype=np.int64)
+    p2n = np.concatenate(
+        [o2n, np.arange(len(kept), len(kept) + n_added, dtype=np.int64)]
+    )
+    return o2n, p2n
+
+
+def _row_members(indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Concatenated members of the given CSR rows."""
+    if len(rows) == 0:
+        return np.zeros(0, dtype=np.int64)
+    deg = np.diff(indptr)[rows]
+    return indices[_segment_gather(indptr[rows], deg)]
+
+
+def _new_nodes(old_nodes: Tuple, o2n: np.ndarray, added: List) -> List:
+    """Survivors in old canonical order, then the delta's additions."""
+    survivors = [node for pos, node in enumerate(old_nodes) if o2n[pos] >= 0]
+    return survivors + list(added)
 
 
 def _cat_indptr(indptrs: Sequence[np.ndarray]) -> np.ndarray:

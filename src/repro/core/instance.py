@@ -43,6 +43,44 @@ from ..exceptions import InvalidInstanceError
 __all__ = ["MaxMinInstance", "DegreeStatistics"]
 
 
+def _adjacency_from_csr(owners, members, indptr, indices, coeff):
+    """Adjacency dicts of one CSR side (trusted, see ``from_arrays``).
+
+    ``owners`` are the row nodes (agents), ``members`` the column nodes
+    (constraints or objectives); rows must list members in canonical order.
+    Returns ``(coeff_map, rows_of_owner, rows_of_member)`` where
+    ``coeff_map`` is keyed ``(member_id, owner_id)`` — the ``(i, v)`` /
+    ``(k, v)`` convention of the instance's ``_a`` / ``_c`` dicts — and the
+    reverse rows come out sorted by owner canonical position (the same order
+    ``__init__``'s insertion + sort produces).
+    """
+    import numpy as np
+
+    idx = indices.tolist()
+    indptr_l = indptr.tolist()
+    member_ids = [members[p] for p in idx]
+    rows_of_owner = {
+        owner: tuple(member_ids[indptr_l[row] : indptr_l[row + 1]])
+        for row, owner in enumerate(owners)
+    }
+    owner_rep = np.repeat(np.arange(len(owners), dtype=np.int64), np.diff(indptr))
+    owner_ids = [owners[p] for p in owner_rep.tolist()]
+    coeff_map = dict(zip(zip(member_ids, owner_ids), coeff.tolist()))
+    order = np.lexsort((owner_rep, indices)).tolist()
+    counts = (
+        np.bincount(indices, minlength=len(members)).tolist()
+        if len(idx)
+        else [0] * len(members)
+    )
+    rows_of_member = {}
+    pos = 0
+    for m, mid in enumerate(members):
+        cnt = counts[m]
+        rows_of_member[mid] = tuple(owner_ids[p] for p in order[pos : pos + cnt])
+        pos += cnt
+    return coeff_map, rows_of_owner, rows_of_member
+
+
 class DegreeStatistics:
     """Summary of the degree structure of an instance.
 
@@ -766,3 +804,62 @@ class MaxMinInstance:
             c=c,
             name=str(data.get("name", "max-min-lp")),
         )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        agents: Sequence[NodeId],
+        constraints: Sequence[NodeId],
+        objectives: Sequence[NodeId],
+        con_indptr,
+        con_indices,
+        con_coeff,
+        obj_indptr,
+        obj_indices,
+        obj_coeff,
+        name: str = "max-min-lp",
+        compile: bool = True,
+    ) -> "MaxMinInstance":
+        """Trusted constructor from pre-validated CSR arrays.
+
+        ``con_*`` holds the per-agent constraint edges (``con_indices`` are
+        positions into ``constraints``, rows in canonical adjacency order),
+        ``obj_*`` the per-agent objective edges.  The caller vouches that the
+        arrays describe a valid instance — node identifiers unique,
+        coefficients positive and finite, no duplicate edges, rows sorted by
+        member canonical position — so the O(E) re-validation and adjacency
+        sorting of ``__init__`` is skipped (it dominates ``preprocess()`` and
+        delta application at n ≈ 1e4).  With ``compile=True`` the matching
+        :class:`~repro.core.compiled.CompiledInstance` is attached to the
+        compiled-view cache directly from the same arrays, so the Python-loop
+        lowering is skipped as well.  The result is indistinguishable (equal
+        dicts, digest, hash, compiled arrays) from declaring the instance via
+        ``__init__``.
+        """
+        self = cls.__new__(cls)
+        self._agents = tuple(agents)
+        self._constraints = tuple(constraints)
+        self._objectives = tuple(objectives)
+        self.name = name
+        self._graph_cache = None
+        self._compiled_cache = None
+        self._transform_cache = None
+        self._preprocess_cache = None
+        self._agent_set = frozenset(self._agents)
+        self._constraint_set = frozenset(self._constraints)
+        self._objective_set = frozenset(self._objectives)
+        self._a, self._constraints_of_agent, self._agents_of_constraint = _adjacency_from_csr(
+            self._agents, self._constraints, con_indptr, con_indices, con_coeff
+        )
+        self._c, self._objectives_of_agent, self._agents_of_objective = _adjacency_from_csr(
+            self._agents, self._objectives, obj_indptr, obj_indices, obj_coeff
+        )
+        if compile:
+            from .. import obs
+            from .compiled import CompiledInstance
+
+            obs.count("compile.from_arrays")
+            self._compiled_cache = CompiledInstance.from_arrays(
+                self, con_indptr, con_indices, con_coeff, obj_indptr, obj_indices, obj_coeff
+            )
+        return self

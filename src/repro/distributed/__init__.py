@@ -17,7 +17,16 @@ from .agents import (
     maxmin_node_factory,
 )
 from .plane import MessagePlane, VectorizedProtocol
-from .dynamics import ChangeImpact, changed_sites, local_horizon_radius, measure_change_impact
+from .dynamics import (
+    ChangeImpact,
+    DynamicNetwork,
+    TickResult,
+    changed_agent_positions,
+    changed_sites,
+    local_horizon_radius,
+    measure_change_impact,
+    random_churn_delta,
+)
 from .local_view import ViewTree, view_feasible_omega, view_tree_optimum
 from .message import Message, message_size_bytes
 from .network import CommunicationNetwork, build_network
@@ -54,7 +63,11 @@ __all__ = [
     "DistributedSafeSolver",
     "SAFE_ALGORITHM_ROUNDS",
     "ChangeImpact",
+    "DynamicNetwork",
+    "TickResult",
+    "changed_agent_positions",
     "changed_sites",
     "measure_change_impact",
     "local_horizon_radius",
+    "random_churn_delta",
 ]

@@ -45,6 +45,7 @@ from .. import obs
 from ..core.compiled import CompiledInstance, _segment_gather
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.compiled import DeltaResult
     from ..core.instance import MaxMinInstance
 
 __all__ = ["MessagePlane", "VectorizedProtocol"]
@@ -115,7 +116,24 @@ class MessagePlane:
 
     def __init__(self, instance: "MaxMinInstance") -> None:
         obs.count("plane.builds")
-        comp = instance.compiled()
+        self._build_skeleton(instance.compiled())
+
+        comp = self.comp
+        con_pair = _pair_with_reverse_rows(
+            comp.con_indptr, comp.con_indices, comp.cagents_indptr, comp.cagents_indices
+        )
+        obj_pair = _pair_with_reverse_rows(
+            comp.obj_indptr, comp.obj_indices, comp.oagents_indptr, comp.oagents_indices
+        )
+
+        self.reverse = np.empty(self.num_slots, dtype=np.int64)
+        self.reverse[self.agent_con_slots] = self.con_base + con_pair
+        self.reverse[self.agent_obj_slots] = self.obj_base + obj_pair
+        self.reverse[self.con_base + con_pair] = self.agent_con_slots
+        self.reverse[self.obj_base + obj_pair] = self.agent_obj_slots
+
+    def _build_skeleton(self, comp: CompiledInstance) -> None:
+        """Slot layout (everything except :attr:`reverse`) from the CSR arrays."""
         self.comp = comp
         A = len(comp.con_indices)
         B = len(comp.obj_indices)
@@ -130,19 +148,6 @@ class MessagePlane:
         np.cumsum(con_deg + obj_deg, out=self.agent_indptr[1:])
         self.agent_con_slots = _segment_gather(self.agent_indptr[:-1], con_deg)
         self.agent_obj_slots = _segment_gather(self.agent_indptr[:-1] + con_deg, obj_deg)
-
-        con_pair = _pair_with_reverse_rows(
-            comp.con_indptr, comp.con_indices, comp.cagents_indptr, comp.cagents_indices
-        )
-        obj_pair = _pair_with_reverse_rows(
-            comp.obj_indptr, comp.obj_indices, comp.oagents_indptr, comp.oagents_indices
-        )
-
-        self.reverse = np.empty(self.num_slots, dtype=np.int64)
-        self.reverse[self.agent_con_slots] = self.con_base + con_pair
-        self.reverse[self.agent_obj_slots] = self.obj_base + obj_pair
-        self.reverse[self.con_base + con_pair] = self.agent_con_slots
-        self.reverse[self.obj_base + obj_pair] = self.agent_obj_slots
 
     # ------------------------------------------------------------------
     @property
@@ -171,6 +176,153 @@ class MessagePlane:
             np.zeros(self.num_slots, dtype=bool),
             np.zeros(self.num_slots, dtype=np.float64),
         )
+
+    # ------------------------------------------------------------------
+    # dirty-region tracking
+    # ------------------------------------------------------------------
+    def dirty_region(self, agents: np.ndarray, radius: int) -> np.ndarray:
+        """Agent positions within graph distance ``radius`` of ``agents``.
+
+        ``radius`` is measured in *communication-graph* edges (agent → relay
+        node → agent is distance 2); it is rounded down to whole agent-to-agent
+        hops, matching how :func:`~repro.distributed.dynamics.local_horizon_radius`
+        is stated.
+        """
+        from ..algo.kernels import agent_hop_balls
+
+        (ball,) = agent_hop_balls(self.comp, np.asarray(agents), [radius // 2])
+        return ball
+
+    def updated(self, delta: "DeltaResult") -> "MessagePlane":
+        """The plane of ``delta.compiled``, reusing this plane's arrays.
+
+        Coefficient-only deltas keep the communication graph intact — every
+        slot array depends only on the CSR ``indptr``/``indices`` — so the
+        update is a constant-time clone with ``comp`` swapped.  Structural
+        deltas rebuild the slot skeleton (cheap cumulative sums) and then
+        recover :attr:`reverse` by translating the slots of every untouched
+        row; only slots in rows whose membership changed are re-paired.
+        """
+        if delta.identity:
+            return self
+        new = object.__new__(MessagePlane)
+        new._build_skeleton(delta.compiled)
+        if not delta.structural:
+            obs.count("plane.delta_reuses")
+            # Same topology: positions are unchanged, so the skeleton (and
+            # hence reverse) is bitwise what we already have.
+            new.reverse = self.reverse
+            return new
+
+        obs.count("plane.delta_rebuilds")
+        old_comp = self.comp
+
+        # Slot translation old → new for every row whose membership (and
+        # hence slot block content/order) is unchanged.  An agent row is
+        # clean only if both its constraint and objective memberships are:
+        # the two blocks are interleaved per agent, so either change shifts
+        # the whole block.
+        trans = np.full(self.num_slots, -1, dtype=np.int64)
+
+        def translate(old_rows, o2n, old_starts_all, old_deg_all, new_starts_all):
+            rows = np.asarray(old_rows, dtype=np.int64)
+            if len(rows) == 0:
+                return
+            counts = old_deg_all[rows]
+            src = _segment_gather(old_starts_all[rows], counts)
+            dst = _segment_gather(new_starts_all[o2n[rows]], counts)
+            trans[src] = dst
+
+        o2n_a = delta.old_to_new_agent
+        o2n_c = delta.old_to_new_constraint
+        o2n_k = delta.old_to_new_objective
+
+        dirty_a = np.zeros(old_comp.num_agents, dtype=bool)
+        dirty_a[delta.changed_con_rows] = True
+        dirty_a[delta.changed_obj_rows] = True
+        clean_a = np.flatnonzero((o2n_a >= 0) & ~dirty_a)
+        translate(
+            clean_a,
+            o2n_a,
+            self.agent_indptr[:-1],
+            np.diff(self.agent_indptr),
+            new.agent_indptr[:-1],
+        )
+
+        dirty_c = np.zeros(old_comp.num_constraints, dtype=bool)
+        dirty_c[delta.changed_constraints] = True
+        clean_c = np.flatnonzero((o2n_c >= 0) & ~dirty_c)
+        translate(
+            clean_c,
+            o2n_c,
+            self.con_base + old_comp.cagents_indptr[:-1],
+            np.diff(old_comp.cagents_indptr),
+            new.con_base + new.comp.cagents_indptr[:-1],
+        )
+
+        dirty_k = np.zeros(old_comp.num_objectives, dtype=bool)
+        dirty_k[delta.changed_objectives] = True
+        clean_k = np.flatnonzero((o2n_k >= 0) & ~dirty_k)
+        translate(
+            clean_k,
+            o2n_k,
+            self.obj_base + old_comp.oagents_indptr[:-1],
+            np.diff(old_comp.oagents_indptr),
+            new.obj_base + new.comp.oagents_indptr[:-1],
+        )
+
+        # Carry over every reverse pair whose slots both translate.
+        new.reverse = np.full(new.num_slots, -1, dtype=np.int64)
+        mirror = trans[self.reverse]
+        both = np.flatnonzero((trans >= 0) & (mirror >= 0))
+        new.reverse[trans[both]] = mirror[both]
+        obs.count("plane.delta_slots_reused", len(both))
+
+        # Re-pair the remaining slots family by family.  Within a family the
+        # unfilled forward entries and unfilled reverse entries describe the
+        # same undirected edges; sorting both by (relay row, agent) aligns
+        # them 1:1, exactly as in _pair_with_reverse_rows but restricted to
+        # the dirty edges.
+        comp = new.comp
+
+        def repair(fwd_slots, fwd_indptr, fwd_indices, rev_base, rev_indptr, rev_indices):
+            open_f = np.flatnonzero(new.reverse[fwd_slots] < 0)
+            open_r = np.flatnonzero(new.reverse[rev_base + np.arange(len(rev_indices))] < 0)
+            if len(open_f) != len(open_r):  # pragma: no cover - mirror invariant
+                raise ValueError("dirty forward/reverse edge counts disagree")
+            if len(open_f) == 0:
+                return 0
+            owner = np.repeat(
+                np.arange(len(fwd_indptr) - 1, dtype=np.int64), np.diff(fwd_indptr)
+            )
+            order_f = open_f[np.lexsort((owner[open_f], fwd_indices[open_f]))]
+            # rev entries in natural order are already sorted by (row, member)
+            a_slots = fwd_slots[order_f]
+            r_slots = rev_base + open_r
+            new.reverse[a_slots] = r_slots
+            new.reverse[r_slots] = a_slots
+            return 2 * len(open_f)
+
+        rebuilt = repair(
+            new.agent_con_slots,
+            comp.con_indptr,
+            comp.con_indices,
+            new.con_base,
+            comp.cagents_indptr,
+            comp.cagents_indices,
+        )
+        rebuilt += repair(
+            new.agent_obj_slots,
+            comp.obj_indptr,
+            comp.obj_indices,
+            new.obj_base,
+            comp.oagents_indptr,
+            comp.oagents_indices,
+        )
+        obs.count("plane.delta_slots_rebuilt", rebuilt)
+        if len(both) + rebuilt != new.num_slots:  # pragma: no cover - invariant
+            raise ValueError("plane delta update left unpaired slots")
+        return new
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

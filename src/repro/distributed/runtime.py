@@ -24,7 +24,7 @@ Two execution paths share the accounting:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -36,6 +36,9 @@ from .message import Message, message_size_bytes
 from .network import CommunicationNetwork
 from .node import ProtocolNode
 from .plane import MessagePlane, VectorizedProtocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.compiled import DeltaResult
 
 __all__ = ["RoundStatistics", "RunResult", "SynchronousRuntime", "require_agent_outputs"]
 
@@ -171,6 +174,22 @@ class SynchronousRuntime:
         if self._plane is None:
             assert self.network is not None  # __init__ invariant
             self._plane = MessagePlane(self.network.instance)
+        return self._plane
+
+    def refresh_plane(self, delta: "DeltaResult") -> MessagePlane:
+        """Carry the message plane across an instance delta.
+
+        Uses :meth:`MessagePlane.updated`, so coefficient-only deltas reuse
+        every slot array and structural deltas rebuild only the dirty rows.
+        Only valid on plane-backed runtimes: a dict-based network cannot be
+        patched in place, so refreshing one raises.
+        """
+        if self.network is not None:
+            raise SimulationError(
+                "refresh_plane is only supported on plane-backed runtimes; "
+                "rebuild the CommunicationNetwork for the dict-based path"
+            )
+        self._plane = self.plane.updated(delta)
         return self._plane
 
     def run(
