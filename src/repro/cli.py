@@ -19,6 +19,15 @@ Sub-commands
 ``dynamics``
     Stream random churn over a special-form instance and re-solve it
     incrementally per tick (:class:`repro.distributed.dynamics.DynamicNetwork`).
+``serve``
+    Run the resilient allocation server (:mod:`repro.serve`): JSON over
+    HTTP with admission control, deadlines, a degradation ladder down to
+    the safe baseline, micro-batching and graceful drain on SIGTERM.
+
+Exit codes follow convention: ``0`` success, ``1`` a run that completed
+with recorded failures (e.g. a sweep with failed jobs), ``2`` usage errors
+— including unreadable or malformed instance files, which are reported as
+a one-line message rather than a traceback.
 
 The CLI is a thin veneer over the library — every code path it exercises is
 also covered by the test suite through the Python API.
@@ -50,12 +59,35 @@ from .generators import (
     sensor_network_instance,
     torus_instance,
 )
+from .exceptions import SerializationError
 from .io.serialization import load_instance, save_instance, save_solution
 
 __all__ = ["main", "build_parser"]
 
 #: Instance families understood by ``generate`` and ``sweep``.
 FAMILIES = ("random", "special-form", "cycle", "torus", "sensor", "ring")
+
+
+class _CliError(Exception):
+    """A user-facing CLI failure: printed as one line, exit code 2."""
+
+
+def _load_instance_friendly(path: str) -> MaxMinInstance:
+    """Load an instance file, turning failures into one-line CLI errors.
+
+    A missing path or a malformed/invalid JSON document is a usage error,
+    not a crash: the caller's traceback would bury the actual problem.
+    """
+    try:
+        return load_instance(path)
+    except FileNotFoundError:
+        raise _CliError(f"instance file not found: {path}") from None
+    except IsADirectoryError:
+        raise _CliError(f"instance path is a directory, not a file: {path}") from None
+    except SerializationError as exc:
+        raise _CliError(f"invalid instance file {path}: {exc}") from None
+    except OSError as exc:
+        raise _CliError(f"cannot read instance file {path}: {exc}") from None
 
 
 def _add_obs_flags(sub_parser: argparse.ArgumentParser) -> None:
@@ -229,6 +261,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(dyn)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the resilient allocation server (JSON over HTTP, drains on SIGTERM)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8377, help="0 picks an ephemeral port")
+    serve.add_argument("--workers", type=int, default=4, help="solver threads")
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        dest="max_pending",
+        help="in-flight requests before admission control sheds with 'overloaded'",
+    )
+    serve.add_argument(
+        "--deadline-s",
+        type=float,
+        default=30.0,
+        dest="deadline_s",
+        help="default per-request deadline (requests may set their own deadline_s)",
+    )
+    serve.add_argument(
+        "--safe-grace-s",
+        type=float,
+        default=2.0,
+        dest="safe_grace_s",
+        help="minimum budget the final safe-baseline rung always gets",
+    )
+    serve.add_argument(
+        "--coalesce-window-ms",
+        type=float,
+        default=2.0,
+        dest="coalesce_window_ms",
+        help="micro-batching collection window (0 disables coalescing)",
+    )
+    serve.add_argument(
+        "--registry-capacity",
+        type=int,
+        default=64,
+        dest="registry_capacity",
+        help="resident-instance LRU capacity",
+    )
+    serve.add_argument(
+        "--cache-dir", help="persistent result-cache directory for solve responses"
+    )
+    serve.add_argument(
+        "--preload",
+        nargs="*",
+        default=[],
+        metavar="INSTANCE_JSON",
+        help="instance files made resident at startup",
+    )
+
     return parser
 
 
@@ -358,7 +443,7 @@ def _sweep(args: argparse.Namespace) -> int:
 
 
 def _solve(args: argparse.Namespace) -> int:
-    instance = load_instance(args.input)
+    instance = _load_instance_friendly(args.input)
     solver = LocalMaxMinSolver(
         R=args.R, backend=args.backend, transform_backend=args.transform_backend
     )
@@ -403,7 +488,7 @@ def _solve(args: argparse.Namespace) -> int:
 
 
 def _compare(args: argparse.Namespace) -> int:
-    instance = load_instance(args.input)
+    instance = _load_instance_friendly(args.input)
     rows = compare_algorithms(instance, R_values=tuple(args.r_values), include_optimum_row=True)
     columns = [
         "algorithm",
@@ -419,7 +504,7 @@ def _compare(args: argparse.Namespace) -> int:
 
 
 def _info(args: argparse.Namespace) -> int:
-    instance = load_instance(args.input)
+    instance = _load_instance_friendly(args.input)
     stats = instance.degree_statistics().as_dict()
     rows = [
         {"property": "agents", "value": instance.num_agents},
@@ -508,6 +593,69 @@ def _dynamics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_config_from_args(args: argparse.Namespace):
+    """Build a :class:`repro.serve.ServeConfig` from parsed CLI flags."""
+    from .serve import ServeConfig
+
+    if args.workers < 1:
+        raise _CliError("--workers must be >= 1")
+    if args.max_pending < 1:
+        raise _CliError("--max-pending must be >= 1")
+    if args.registry_capacity < 1:
+        raise _CliError("--registry-capacity must be >= 1")
+    if args.deadline_s <= 0:
+        raise _CliError("--deadline-s must be > 0")
+    if args.coalesce_window_ms < 0:
+        raise _CliError("--coalesce-window-ms must be >= 0")
+    return ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        default_deadline_s=args.deadline_s,
+        safe_grace_s=args.safe_grace_s,
+        coalesce_window_s=args.coalesce_window_ms / 1000.0,
+        registry_capacity=args.registry_capacity,
+        cache_dir=args.cache_dir,
+    )
+
+
+def _serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .serve import AllocationServer
+
+    config = _serve_config_from_args(args)
+    server = AllocationServer(config)
+    for path in args.preload:
+        instance = _load_instance_friendly(path)
+        entry = server.registry.admit_instance(instance)
+        print(f"preloaded {entry.digest[:12]}… from {path}")
+
+    async def run() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(server.drain())
+                )
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                pass
+        print(
+            f"maxmin-lp serve listening on http://{config.host}:{server.port} "
+            f"(workers={config.workers}, max_pending={config.max_pending}; "
+            "SIGTERM drains gracefully)"
+        )
+        sys.stdout.flush()
+        await server.wait_closed()
+        print("serve: drained and stopped")
+
+    asyncio.run(run())
+    return 0
+
+
 def _run_with_obs(
     handler: Callable[[argparse.Namespace], int], args: argparse.Namespace
 ) -> int:
@@ -550,8 +698,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _sweep,
         "info": _info,
         "dynamics": _dynamics,
+        "serve": _serve,
     }
-    return _run_with_obs(handlers[args.command], args)
+    try:
+        return _run_with_obs(handlers[args.command], args)
+    except _CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the console script

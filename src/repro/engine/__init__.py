@@ -35,7 +35,7 @@ from .registry import (
     execute_jobs_batched,
     solver_version,
 )
-from .resilience import BatchJournal, RetryPolicy
+from .resilience import BatchJournal, RetryPolicy, call_with_timeout, leaked_timeout_threads
 
 __all__ = [
     "JobSpec",
@@ -50,6 +50,8 @@ __all__ = [
     "ResultCache",
     "RetryPolicy",
     "BatchJournal",
+    "call_with_timeout",
+    "leaked_timeout_threads",
     "run_batch",
     "ratio_sweep_batch",
     "execute_job",

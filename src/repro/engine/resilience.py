@@ -11,19 +11,25 @@ resilient job executor and the executors:
   The attempt runs on a daemon thread and the caller waits ``timeout_s``;
   on expiry a :class:`~repro.exceptions.JobTimeoutError` is raised and the
   abandoned attempt is left to finish in the background (Python offers no
-  safe preemption — the thread's eventual result is discarded).
+  safe preemption — the thread's eventual result is discarded).  Abandoned
+  threads are *accounted for*: :func:`leaked_timeout_threads` reports how
+  many are still running (also published as the
+  ``engine.leaked_timeout_threads`` gauge), so a serving process wedging
+  solver threads is visible on its admin endpoint instead of silent.
 * :class:`BatchJournal` — an append-only JSONL checkpoint of completed job
   keys and their records.  ``run_batch(resume_from=...)`` reads it back and
   skips finished work, which is what makes a 500-job sweep survive a
   mid-run ``kill -9`` with only the unfinished tail to re-execute.  Appends
-  are flushed and fsynced per entry; a torn final line (the crash case) is
-  ignored on load.
+  are flushed and fsynced per entry; corrupt lines (a torn tail from a
+  killed writer, or a damaged record mid-file) are dropped on load and the
+  journal is compacted so later appends stay durable.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import threading
 from dataclasses import dataclass
@@ -33,7 +39,14 @@ from typing import Dict, List, Optional, Union
 from .. import obs
 from ..exceptions import EngineError, JobTimeoutError
 
-__all__ = ["RetryPolicy", "BatchJournal", "call_with_timeout"]
+__all__ = [
+    "RetryPolicy",
+    "BatchJournal",
+    "call_with_timeout",
+    "leaked_timeout_threads",
+]
+
+logger = logging.getLogger(__name__)
 
 #: One flat sweep record (kept structural — importing ``.job`` here would be
 #: circular, since :class:`~repro.engine.job.JobSpec` carries a policy).
@@ -99,6 +112,49 @@ class RetryPolicy:
         return base * (1.0 + self.jitter * (2.0 * fraction - 1.0))
 
 
+# Timed-out attempt threads we had to abandon.  Dead ones are pruned on
+# every touch; the survivors are the genuinely wedged (or still-finishing)
+# attempts, published as the ``engine.leaked_timeout_threads`` gauge.
+_abandoned_lock = threading.Lock()
+_abandoned_threads: List[threading.Thread] = []
+_leak_warned = False
+
+
+def leaked_timeout_threads() -> int:
+    """How many timed-out attempt threads are still running.
+
+    :func:`call_with_timeout` cannot preempt a wedged attempt — it abandons
+    the daemon thread and raises.  This reports the number of abandoned
+    threads that have not yet finished on their own, prunes the ones that
+    have, and refreshes the ``engine.leaked_timeout_threads`` gauge.  Served
+    on the allocation server's ``/metrics`` endpoint.
+    """
+    with _abandoned_lock:
+        _abandoned_threads[:] = [t for t in _abandoned_threads if t.is_alive()]
+        count = len(_abandoned_threads)
+    obs.gauge("engine.leaked_timeout_threads", count)
+    return count
+
+
+def _note_abandoned_thread(thread: threading.Thread) -> None:
+    global _leak_warned
+    with _abandoned_lock:
+        _abandoned_threads[:] = [t for t in _abandoned_threads if t.is_alive()]
+        _abandoned_threads.append(thread)
+        count = len(_abandoned_threads)
+        first = not _leak_warned
+        _leak_warned = True
+    obs.gauge("engine.leaked_timeout_threads", count)
+    obs.count("engine.timeout_thread_leaks")
+    if first:
+        logger.warning(
+            "a timed-out job attempt was abandoned and its thread leaked; it "
+            "runs to completion in the background with its result discarded "
+            "(gauge engine.leaked_timeout_threads tracks survivors; this "
+            "warning is logged once per process)"
+        )
+
+
 def call_with_timeout(fn, timeout_s: Optional[float]):
     """Run ``fn()`` with a deadline; raise :class:`JobTimeoutError` on expiry.
 
@@ -107,6 +163,8 @@ def call_with_timeout(fn, timeout_s: Optional[float]):
     abandoned — it keeps running to completion in the background, its result
     discarded.  That is the honest Python trade-off: no preemption, so a
     truly wedged attempt occupies its thread until the process exits.
+    Abandoned threads are tracked by :func:`leaked_timeout_threads` (and
+    warn once per process) so the leak is observable rather than silent.
     """
     if timeout_s is None:
         return fn()
@@ -124,6 +182,7 @@ def call_with_timeout(fn, timeout_s: Optional[float]):
     thread = threading.Thread(target=runner, name="repro-job-attempt", daemon=True)
     thread.start()
     if not done.wait(timeout_s):
+        _note_abandoned_thread(thread)
         raise JobTimeoutError(f"job attempt exceeded its {timeout_s}s deadline")
     if "error" in outcome:
         raise outcome["error"]  # type: ignore[misc]
@@ -134,9 +193,24 @@ class BatchJournal:
     """Append-only JSONL checkpoint: one line per completed job.
 
     Line 1 is a header (``format``/``version``); every further line is
-    ``{"key": <cache key>, "records": [...]}``.  Loading tolerates a torn
-    final line — exactly what a ``kill -9`` mid-append leaves behind — and
-    stops there, so everything before the tear still resumes.
+    ``{"key": <cache key>, "records": [...]}``.  Loading tolerates corrupt
+    lines deterministically:
+
+    * A **torn tail** — the last line is unparseable, exactly what a
+      ``kill -9`` mid-append leaves behind — is dropped
+      (``engine.journal_torn_lines``); everything before it resumes.
+    * A **mid-file corrupt line** (disk damage, a truncated copy) is
+      dropped *along with everything after it*
+      (``engine.journal_corrupt_lines``): once one record is damaged the
+      byte offsets of its successors are untrustworthy, so resume falls
+      back to the last clean prefix and re-executes the rest.
+
+    Either way the journal is then **compacted** — atomically rewritten
+    with the header and the surviving entries (``os.replace``, so a crash
+    mid-compaction leaves the old file intact) — before appends resume.
+    Without compaction a corrupt line would poison the file forever: every
+    entry appended after it would land beyond the corruption and be
+    invisible to every future load.
     """
 
     def __init__(self, path: Union[str, Path]) -> None:
@@ -144,27 +218,41 @@ class BatchJournal:
         self._completed: Dict[str, List[Record]] = {}
         self._load()
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self._needs_compaction:
+            self._compact()
         self._handle = open(self.path, "a", encoding="utf-8")
         if self._needs_header:
             self._append_line({"format": _JOURNAL_FORMAT, "version": _JOURNAL_VERSION})
 
     def _load(self) -> None:
         self._needs_header = True
+        self._needs_compaction = False
         try:
             text = self.path.read_text(encoding="utf-8")
         except (OSError, ValueError):
             return
-        for number, line in enumerate(text.splitlines()):
-            if not line.strip():
-                continue
+        lines = [line for line in text.splitlines() if line.strip()]
+        for position, line in enumerate(lines):
             try:
                 entry = json.loads(line)
             except ValueError:
-                # A torn tail from a killed writer; everything after it is
-                # untrustworthy, so stop here and recompute the rest.
-                obs.count("engine.journal_torn_lines")
+                if position == len(lines) - 1:
+                    # A torn tail from a killed writer.
+                    obs.count("engine.journal_torn_lines")
+                else:
+                    # Damage mid-file: everything after it is untrustworthy.
+                    obs.count("engine.journal_corrupt_lines")
+                    logger.warning(
+                        "journal %s: corrupt line %d of %d; keeping the %d "
+                        "clean entries before it and compacting",
+                        self.path,
+                        position + 1,
+                        len(lines),
+                        len(self._completed),
+                    )
+                self._needs_compaction = True
                 break
-            if number == 0 and entry.get("format") == _JOURNAL_FORMAT:
+            if position == 0 and entry.get("format") == _JOURNAL_FORMAT:
                 if entry.get("version") != _JOURNAL_VERSION:
                     raise EngineError(
                         f"journal {str(self.path)!r} has version "
@@ -177,6 +265,22 @@ class BatchJournal:
             records = entry.get("records")
             if isinstance(key, str) and isinstance(records, list):
                 self._completed[key] = records
+
+    def _compact(self) -> None:
+        """Atomically rewrite the journal as header + surviving entries."""
+        tmp = self.path.with_name(self.path.name + ".compact-tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps({"format": _JOURNAL_FORMAT, "version": _JOURNAL_VERSION}) + "\n"
+            )
+            for key, records in self._completed.items():
+                handle.write(json.dumps({"key": key, "records": records}) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        self._needs_header = False
+        self._needs_compaction = False
+        obs.count("engine.journal_compactions")
 
     def _append_line(self, payload: Dict[str, object]) -> None:
         self._handle.write(json.dumps(payload) + "\n")

@@ -103,7 +103,7 @@ def instance_from_json(text: str) -> MaxMinInstance:
         payload = json.loads(text)
     except json.JSONDecodeError as exc:
         raise SerializationError(f"invalid JSON: {exc}") from exc
-    if payload.get("format") != "repro.maxmin-lp":
+    if not isinstance(payload, dict) or payload.get("format") != "repro.maxmin-lp":
         raise SerializationError("not a repro.maxmin-lp document")
     try:
         a = {

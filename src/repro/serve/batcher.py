@@ -1,0 +1,102 @@
+"""Micro-batching: coalesce concurrent solve requests into one kernel pass.
+
+Concurrent small solve requests that share one parameter set are the exact
+shape the PR 4 batched-dispatch machinery was built for: stack the compiled
+instances, run the §5 kernels once, split the outputs.  The batcher is the
+request-side half — the first request of a parameter set opens a short
+collection *window* (a few milliseconds); every compatible request arriving
+inside the window joins the batch; at window close (or at ``max_batch``)
+the whole group is flushed through one ``solve_many`` call.
+
+Correctness contract: the batched kernels are **bitwise-equal** to solo
+vectorized solves (pinned since PR 4), so coalescing is invisible in the
+response payload apart from the ``coalesced`` envelope flag.  Robustness
+contract: a failed flush never fails its members — the flush exception is
+delivered to every waiter, and the server's solo fallback (the full
+degradation ladder) takes over per request.
+
+Single-event-loop discipline: all bookkeeping runs on the loop thread, so
+no locks; only the flush callable itself may hop to an executor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, Hashable, List, Tuple
+
+__all__ = ["MicroBatcher"]
+
+#: The flush hook: ``(key, items) -> results`` (one result per item, in order).
+FlushFn = Callable[[Hashable, List[object]], Awaitable[List[object]]]
+
+
+class _Pending:
+    __slots__ = ("items", "futures", "ready")
+
+    def __init__(self) -> None:
+        self.items: List[object] = []
+        self.futures: List[asyncio.Future] = []
+        self.ready = asyncio.Event()
+
+
+class MicroBatcher:
+    """Window-based request coalescer keyed by parameter set."""
+
+    def __init__(self, flush: FlushFn, *, window_s: float = 0.002, max_batch: int = 64) -> None:
+        if window_s < 0:
+            raise ValueError(f"window_s must be >= 0, got {window_s}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._flush = flush
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self._pending: Dict[Hashable, _Pending] = {}
+
+    async def submit(self, key: Hashable, item: object) -> object:
+        """Join (or open) the batch for ``key``; resolves with this item's result.
+
+        Raises whatever the flush raised — the caller is expected to fall
+        back to its solo path.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        pending = self._pending.get(key)
+        if pending is None:
+            pending = _Pending()
+            self._pending[key] = pending
+            loop.create_task(self._run_window(key, pending))
+        pending.items.append(item)
+        pending.futures.append(future)
+        if len(pending.items) >= self.max_batch:
+            # Full house: detach so new arrivals open a fresh window, and
+            # wake the window task early.
+            self._detach(key, pending)
+            pending.ready.set()
+        return await future
+
+    def _detach(self, key: Hashable, pending: _Pending) -> None:
+        if self._pending.get(key) is pending:
+            del self._pending[key]
+
+    async def _run_window(self, key: Hashable, pending: _Pending) -> None:
+        if self.window_s > 0 and len(pending.items) < self.max_batch:
+            try:
+                await asyncio.wait_for(pending.ready.wait(), timeout=self.window_s)
+            except asyncio.TimeoutError:
+                pass  # window elapsed — flush whatever gathered
+        self._detach(key, pending)
+        items: Tuple[object, ...] = tuple(pending.items)
+        try:
+            results = await self._flush(key, list(items))
+            if len(results) != len(items):
+                raise RuntimeError(
+                    f"batch flush returned {len(results)} results for {len(items)} items"
+                )
+        except Exception as exc:  # noqa: BLE001 - delivered to every waiter
+            for future in pending.futures:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for future, result in zip(pending.futures, results):
+            if not future.done():
+                future.set_result(result)

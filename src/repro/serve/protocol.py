@@ -1,0 +1,116 @@
+"""The serve wire protocol: request/response shapes and error codes.
+
+Everything on the wire is JSON.  A request is one ``POST /v1/<op>`` with a
+JSON body; an admin query is one ``GET``.  Responses share a single
+envelope::
+
+    {"ok": true,  "op": "solve", "result": {...}, "degraded": false, ...}
+    {"ok": false, "error": {"code": "overloaded", "message": "..."}}
+
+Error codes are a *closed* vocabulary (clients switch on them):
+
+``bad_request``
+    Malformed body, unknown op, missing/invalid fields (HTTP 400).
+``not_found``
+    A ``digest`` that is not resident in the registry (HTTP 404).  The
+    client re-sends the request with the full ``instance`` document.
+``overloaded``
+    Admission control shed the request — the bounded queue is full
+    (HTTP 503).  Structured, immediate, retryable.
+``draining``
+    The server is finishing in-flight work after SIGTERM and admits no new
+    requests (HTTP 503).
+``deadline_exceeded``
+    The request's deadline elapsed and degradation was disabled (or even
+    the safe baseline could not answer) (HTTP 504).
+``internal``
+    Every rung of the ladder failed for a non-deadline reason (HTTP 500).
+
+A *degraded* success is still ``ok: true`` — the allocation is feasible,
+merely further from the optimum than the full solve — with
+``degraded: true`` and a machine-readable ``degraded_reason``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Tuple
+
+from ..exceptions import ReproError
+
+__all__ = [
+    "ServeError",
+    "ERROR_STATUS",
+    "ok_response",
+    "error_response",
+    "parse_body",
+]
+
+#: Error code → HTTP status.
+ERROR_STATUS: Dict[str, int] = {
+    "bad_request": 400,
+    "not_found": 404,
+    "overloaded": 503,
+    "draining": 503,
+    "deadline_exceeded": 504,
+    "internal": 500,
+}
+
+#: Ops accepted under ``POST /v1/<op>``.
+OPS = ("solve", "utility", "ratio", "info")
+
+
+class ServeError(ReproError):
+    """A structured, client-visible serving failure.
+
+    Carries one of the :data:`ERROR_STATUS` codes; the server turns it into
+    the error envelope (never a traceback on the wire).
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        if code not in ERROR_STATUS:
+            raise ValueError(f"unknown serve error code {code!r}")
+        super().__init__(message)
+        self.code = code
+
+    def payload(self) -> Dict[str, object]:
+        return {"ok": False, "error": {"code": self.code, "message": str(self)}}
+
+
+def ok_response(op: str, result: Dict[str, object], **envelope: object) -> Dict[str, object]:
+    """The success envelope: ``ok``/``op``/``result`` plus extra fields."""
+    payload: Dict[str, object] = {"ok": True, "op": op, "result": result}
+    payload.update(envelope)
+    payload.setdefault("degraded", False)
+    return payload
+
+
+def error_response(code: str, message: str) -> Tuple[int, Dict[str, object]]:
+    """``(http_status, envelope)`` for a structured error."""
+    return ERROR_STATUS[code], {
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+def parse_body(raw: bytes) -> Dict[str, object]:
+    """Decode a request body; raise ``bad_request`` on anything non-object."""
+    if not raw:
+        return {}
+    try:
+        body = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ServeError("bad_request", f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(body, dict):
+        raise ServeError("bad_request", "request body must be a JSON object")
+    return body
+
+
+def positive_float(body: Dict[str, object], field: str) -> Optional[float]:
+    """Read an optional positive float field, with a structured error."""
+    value = body.get(field)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
+        raise ServeError("bad_request", f"{field!r} must be a positive number")
+    return float(value)

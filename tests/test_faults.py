@@ -371,6 +371,62 @@ class TestJournalResume:
         resumed = run_batch(batch, resume_from=journal_path)
         assert resumed.executed_jobs == 0 and resumed.journal_jobs == len(batch.jobs)
 
+    def test_journal_mid_file_corruption_keeps_clean_prefix_and_compacts(self, tmp_path):
+        journal_path = tmp_path / "sweep.jsonl"
+        batch = small_batch()
+        run_batch(batch, journal=journal_path)
+        lines = journal_path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 1 + len(batch.jobs)  # header + one line per job
+        # Corrupt an entry in the *middle* of the file (disk damage), not
+        # the tail: line 1 is the header, line 2 the first entry.
+        lines[2] = lines[2][: len(lines[2]) // 2] + "\x00garbage"
+        journal_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+        journal = BatchJournal(journal_path)
+        # Only the clean prefix (the entry before the corruption) survives;
+        # everything after the damaged line is untrustworthy.
+        assert len(journal) == 1
+        journal.close()
+
+        # The file was compacted: reloadable, header first, no corrupt bytes.
+        compacted = journal_path.read_text(encoding="utf-8").splitlines()
+        assert len(compacted) == 2
+        assert all(json.loads(line) for line in compacted)
+
+        # The regression this guards: entries appended *after* a corruption
+        # must be durable on the next load (pre-compaction they were
+        # silently dropped forever).
+        journal = BatchJournal(journal_path)
+        journal.record("appended-after-corruption", [{"utility": 1.0}])
+        journal.close()
+        reloaded = BatchJournal(journal_path)
+        assert len(reloaded) == 2
+        assert reloaded.completed("appended-after-corruption") == [{"utility": 1.0}]
+        reloaded.close()
+
+        # Resume still works end to end from the compacted journal.
+        resumed = run_batch(batch, resume_from=journal_path)
+        assert resumed.journal_jobs == 1
+        assert resumed.executed_jobs == len(batch.jobs) - 1
+
+    def test_journal_torn_tail_is_compacted_for_durable_appends(self, tmp_path):
+        journal_path = tmp_path / "sweep.jsonl"
+        batch = small_batch()
+        run_batch(batch, journal=journal_path)
+        # A kill -9 mid-append leaves a torn final line with no newline;
+        # without compaction the next append would glue onto it and both
+        # lines would be lost on the load after that.
+        with open(journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "deadbeef", "records": [{"tr')
+        journal = BatchJournal(journal_path)
+        assert len(journal) == len(batch.jobs)
+        journal.record("post-tear", [{"utility": 2.0}])
+        journal.close()
+        reloaded = BatchJournal(journal_path)
+        assert reloaded.completed("post-tear") == [{"utility": 2.0}]
+        assert len(reloaded) == len(batch.jobs) + 1
+        reloaded.close()
+
     def test_journal_version_mismatch_raises(self, tmp_path):
         journal_path = tmp_path / "sweep.jsonl"
         journal_path.write_text(
@@ -601,3 +657,58 @@ class TestCLI:
         assert main(args) == 0
         second = capsys.readouterr().out
         assert "0 executed" in second and "4 journaled" in second
+
+    def test_sweep_exits_nonzero_when_jobs_fail(self, capsys, monkeypatch):
+        """A sweep that records failed jobs must not exit 0 — partial results
+        are not full success, and CI gates on the exit status."""
+        from repro.cli import main
+
+        def explode(spec):
+            raise RuntimeError(f"injected failure for {spec.algorithm}")
+
+        monkeypatch.setattr(registry, "execute_job", explode)
+        args = [
+            "sweep",
+            "cycle",
+            "--sizes",
+            "6",
+            "--r-values",
+            "2",
+            "--no-safe",
+            "--retries",
+            "0",
+        ]
+        assert main(args) == 1
+        captured = capsys.readouterr()
+        assert "failed jobs" in captured.err
+        assert "RuntimeError" in captured.err
+        assert "injected failure" in captured.err
+
+    def test_sweep_partial_failure_also_exits_nonzero(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        real_execute = registry.execute_job
+
+        def flaky(spec):
+            if dict(spec.params).get("R") == 3:
+                raise RuntimeError("R=3 jobs poisoned")
+            return real_execute(spec)
+
+        monkeypatch.setattr(registry, "execute_job", flaky)
+        args = [
+            "sweep",
+            "cycle",
+            "--sizes",
+            "6",
+            "--r-values",
+            "2",
+            "3",
+            "--no-safe",
+            "--retries",
+            "0",
+        ]
+        assert main(args) == 1
+        captured = capsys.readouterr()
+        # The surviving records still print before the failure report.
+        assert "worst-case summary" in captured.out
+        assert "failed jobs (1)" in captured.err

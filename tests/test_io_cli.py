@@ -211,6 +211,32 @@ class TestCli:
         assert "safe-degree" in out
         assert (tmp_path / "sol.json").exists()
 
+    @pytest.mark.parametrize("command", ["solve", "info", "compare"])
+    def test_missing_instance_file_is_a_one_line_error(self, command, capsys):
+        """A bad path is a usage error: one line on stderr, exit 2, no trace."""
+        assert main([command, "/no/such/instance.json"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: instance file not found:")
+        assert "Traceback" not in captured.err
+
+    @pytest.mark.parametrize("command", ["solve", "info", "compare"])
+    def test_malformed_instance_file_is_a_one_line_error(
+        self, command, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{this is not json", encoding="utf-8")
+        assert main([command, str(bad)]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: invalid instance file")
+        assert "Traceback" not in captured.err
+
+        # Valid JSON that is not an instance document fails the same way.
+        not_instance = tmp_path / "list.json"
+        not_instance.write_text('[1, 2, 3]', encoding="utf-8")
+        assert main([command, str(not_instance)]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: invalid instance file")
+
     @pytest.mark.parametrize(
         "family", ["random", "special-form", "torus", "sensor", "ring"]
     )

@@ -1,0 +1,621 @@
+"""Allocation-server contracts: admission, deadlines, degradation, batching.
+
+The resilience contract under chaos is the headline: with faults injected
+into server-side solves, **every** client gets a response — an exact
+answer, a degraded safe-baseline answer, or a structured error — with zero
+client-visible hangs and zero transport errors.  The correctness contract
+rides along: coalesced (micro-batched) responses are bitwise-equal to solo
+solves, and degraded responses are still feasible allocations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import json
+import time
+
+import pytest
+
+from repro.algo.general_solver import LocalMaxMinSolver
+from repro.engine.resilience import call_with_timeout, leaked_timeout_threads
+from repro.exceptions import JobTimeoutError
+from repro.faults import FaultPlan
+from repro.faults.plan import hang, transient
+from repro.generators import random_special_form_instance
+from repro.io.serialization import instance_digest, instance_to_json
+from repro.serve import (
+    CircuitBreaker,
+    InstanceRegistry,
+    ServeConfig,
+    ServeError,
+    ServerHandle,
+    chaos_barrage,
+    classify_response,
+)
+from repro.serve.batcher import MicroBatcher
+from repro.serve.protocol import ERROR_STATUS, parse_body
+
+
+def make_instances(count, *, size=10, seed0=100):
+    return [
+        random_special_form_instance(size, seed=seed0 + i) for i in range(count)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_error_codes_are_a_closed_vocabulary(self):
+        assert set(ERROR_STATUS) == {
+            "bad_request",
+            "not_found",
+            "overloaded",
+            "draining",
+            "deadline_exceeded",
+            "internal",
+        }
+        with pytest.raises(ValueError):
+            ServeError("nonsense", "nope")
+
+    def test_parse_body(self):
+        assert parse_body(b"") == {}
+        assert parse_body(b'{"a": 1}') == {"a": 1}
+        with pytest.raises(ServeError) as excinfo:
+            parse_body(b"{not json")
+        assert excinfo.value.code == "bad_request"
+        with pytest.raises(ServeError):
+            parse_body(b"[1, 2]")
+
+
+# ----------------------------------------------------------------------
+# Instance registry (hot tier)
+# ----------------------------------------------------------------------
+
+
+class TestInstanceRegistry:
+    def test_lru_eviction_and_not_found(self):
+        registry = InstanceRegistry(capacity=2)
+        a, b, c = make_instances(3, size=6)
+        ea = registry.admit_instance(a)
+        registry.admit_instance(b)
+        registry.get(ea.digest)  # touch a: b becomes least-recently used
+        registry.admit_instance(c)  # evicts b
+        assert len(registry) == 2
+        assert registry.evictions == 1
+        digest_b = instance_digest(instance_to_json(b))
+        with pytest.raises(ServeError) as excinfo:
+            registry.get(digest_b)
+        assert excinfo.value.code == "not_found"
+        assert "re-send" in str(excinfo.value)
+
+    def test_admit_is_idempotent_and_canonical(self):
+        registry = InstanceRegistry(capacity=4)
+        (inst,) = make_instances(1, size=6)
+        entry = registry.admit_instance(inst)
+        # Client-side formatting must not split one instance into two
+        # digests: a re-indented document admits to the same entry.
+        doc = json.loads(instance_to_json(inst))
+        again = registry.admit_json(instance_to_json(inst))
+        assert again.digest == entry.digest and len(registry) == 1
+        assert json.dumps(doc)  # the pretty-printed form exists
+        assert registry.digests() == [entry.digest]
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_closed_open_halfopen_cycle(self):
+        now = [0.0]
+        breaker = CircuitBreaker(
+            "vectorized", failure_threshold=2, cooldown_s=5.0, clock=lambda: now[0]
+        )
+        assert breaker.state() == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state() == "closed"  # below threshold
+        breaker.record_failure()
+        assert breaker.state() == "open" and breaker.opens == 1
+        assert not breaker.allow()
+        now[0] = 5.1  # cooldown elapsed: one trial passes
+        assert breaker.state() == "half-open"
+        assert breaker.allow()
+        assert not breaker.allow()  # only one trial at a time
+        breaker.record_failure()  # failed trial re-opens
+        assert breaker.state() == "open" and breaker.opens == 2
+        now[0] = 10.3
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state() == "closed" and breaker.allow()
+
+    def test_success_resets_consecutive_failures(self):
+        breaker = CircuitBreaker("reference", failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state() == "closed"
+        snap = breaker.snapshot()
+        assert snap["state"] == "closed" and snap["consecutive_failures"] == 2
+
+
+# ----------------------------------------------------------------------
+# Micro-batcher
+# ----------------------------------------------------------------------
+
+
+class TestMicroBatcher:
+    def test_window_coalesces_concurrent_submits(self):
+        async def run():
+            calls = []
+
+            async def flush(key, items):
+                calls.append((key, list(items)))
+                return [item * 10 for item in items]
+
+            batcher = MicroBatcher(flush, window_s=0.05, max_batch=16)
+            results = await asyncio.gather(*(batcher.submit("k", i) for i in range(5)))
+            assert results == [0, 10, 20, 30, 40]
+            assert len(calls) == 1 and calls[0][1] == [0, 1, 2, 3, 4]
+
+        asyncio.run(run())
+
+    def test_max_batch_splits_and_keys_separate(self):
+        async def run():
+            calls = []
+
+            async def flush(key, items):
+                calls.append((key, len(items)))
+                return items
+
+            batcher = MicroBatcher(flush, window_s=0.05, max_batch=3)
+            await asyncio.gather(
+                *(batcher.submit("a", i) for i in range(7)),
+                *(batcher.submit("b", i) for i in range(2)),
+            )
+            sizes = collections.Counter(calls)
+            assert sum(n for (k, n) in calls if k == "a") == 7
+            assert all(n <= 3 for (_, n) in calls)
+            assert sum(n for (k, n) in calls if k == "b") == 2
+            assert sizes  # flushed at least once per key
+
+        asyncio.run(run())
+
+    def test_flush_failure_reaches_every_waiter(self):
+        async def run():
+            async def flush(key, items):
+                raise RuntimeError("kernel exploded")
+
+            batcher = MicroBatcher(flush, window_s=0.01, max_batch=8)
+            outcomes = await asyncio.gather(
+                *(batcher.submit("k", i) for i in range(4)), return_exceptions=True
+            )
+            assert len(outcomes) == 4
+            assert all(isinstance(o, RuntimeError) for o in outcomes)
+
+        asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# Leaked-timeout-thread accounting (the call_with_timeout leak, surfaced)
+# ----------------------------------------------------------------------
+
+
+class TestLeakedThreadGauge:
+    def test_abandoned_thread_is_counted_then_pruned(self):
+        before = leaked_timeout_threads()
+        with pytest.raises(JobTimeoutError):
+            call_with_timeout(lambda: time.sleep(0.4), 0.05)
+        assert leaked_timeout_threads() >= before + 1
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if leaked_timeout_threads() <= before:
+                break
+            time.sleep(0.05)
+        # The abandoned sleeper finished and was pruned from the gauge.
+        assert leaked_timeout_threads() <= before
+
+
+# ----------------------------------------------------------------------
+# The server, end to end (in-process, real sockets)
+# ----------------------------------------------------------------------
+
+
+class TestServerBasics:
+    def test_ops_and_admin_endpoints(self, tmp_path):
+        (inst,) = make_instances(1)
+        config = ServeConfig(workers=2, cache_dir=str(tmp_path / "cache"))
+        with ServerHandle(config) as handle:
+            client = handle.client(timeout_s=20)
+            status, health = client.healthz()
+            assert status == 200 and health["ok"] and health["status"] == "serving"
+            assert client.readyz()[0] == 200
+
+            status, payload = client.solve(instance=inst, include_values=True)
+            assert status == 200 and payload["ok"] and not payload["degraded"]
+            assert payload["result"]["feasible"]
+            digest = payload["digest"]
+
+            # Digest addressing hits the resident entry.
+            status, again = client.solve(digest=digest, include_values=True)
+            assert status == 200
+            assert again["result"]["utility"] == payload["result"]["utility"]
+
+            # Identical parameters now come from the persistent cache tier.
+            status, cached = client.solve(digest=digest, include_values=True)
+            assert status == 200 and cached["cached"]
+            assert cached["result"] == payload["result"]
+
+            status, ratio = client.ratio(digest=digest)
+            assert status == 200 and ratio["result"]["measured_ratio"] >= 1.0
+            assert ratio["result"]["optimum"] is not None
+
+            values = payload["result"]["values"]
+            status, util = client.utility(values, digest=digest)
+            assert status == 200
+            assert util["result"]["utility"] == payload["result"]["utility"]
+            # The list form (canonical agent order) must agree with the dict.
+            listed = [values[a] for a in inst.agents]
+            status, util_list = client.utility(listed, digest=digest)
+            assert status == 200
+            assert util_list["result"]["utility"] == util["result"]["utility"]
+
+            status, info = client.info(digest=digest)
+            assert status == 200 and info["result"]["agents"] == inst.num_agents
+
+            status, metrics = client.metrics()
+            assert status == 200
+            counters = metrics["counters"]
+            assert counters["serve.requests"] >= 6
+            assert counters["serve.admitted"] >= 6
+            assert counters["serve.cache_stores"] >= 1
+            assert counters["serve.cache_hits"] >= 1
+            assert metrics["cache"]["entries"] >= 1
+            assert set(metrics["breakers"]) == {"vectorized", "reference"}
+            assert metrics["registry"]["capacity"] == config.registry_capacity
+            assert isinstance(metrics["leaked_timeout_threads"], int)
+
+    def test_structured_bad_requests(self):
+        (inst,) = make_instances(1)
+        with ServerHandle(ServeConfig(workers=1)) as handle:
+            client = handle.client(timeout_s=10)
+            status, payload = client.solve(digest="0000")
+            assert status == 404 and payload["error"]["code"] == "not_found"
+            status, payload = client.op("solve", {"instance": {"nonsense": 1}})
+            assert status == 400 and payload["error"]["code"] == "bad_request"
+            status, payload = client.solve(instance=inst, R=1)
+            assert status == 400 and "R" in payload["error"]["message"]
+            status, payload = client.solve(instance=inst, algorithm="quantum")
+            assert status == 400
+            status, payload = client.request("POST", "/v1/frobnicate", {})
+            assert status == 404 and payload["error"]["code"] == "not_found"
+            status, payload = client.request("GET", "/nope")
+            assert status == 404
+            status, payload = client.utility("nope", instance=inst)
+            assert status == 400
+
+    def test_cache_tier_survives_restart(self, tmp_path):
+        (inst,) = make_instances(1)
+        cache_dir = str(tmp_path / "cache")
+        with ServerHandle(ServeConfig(workers=1, cache_dir=cache_dir)) as handle:
+            client = handle.client(timeout_s=10)
+            status, first = client.solve(instance=inst)
+            assert status == 200 and not first["cached"]
+        with ServerHandle(ServeConfig(workers=1, cache_dir=cache_dir)) as handle:
+            client = handle.client(timeout_s=10)
+            status, second = client.solve(instance=inst)
+            assert status == 200 and second["cached"]
+            assert second["result"] == first["result"]
+
+    def test_drain_stops_serving(self):
+        handle = ServerHandle(ServeConfig(workers=1))
+        handle.start()
+        client = handle.client(timeout_s=5)
+        assert client.healthz()[0] == 200
+        handle.stop()
+        with pytest.raises(OSError):
+            client.healthz()
+
+    def test_drain_is_idempotent(self):
+        async def run():
+            from repro.serve import AllocationServer
+
+            server = AllocationServer(ServeConfig(workers=1))
+            await server.start()
+            await server.drain()
+            await server.drain()
+            await server.wait_closed()
+
+        asyncio.run(run())
+
+
+class TestCoalescing:
+    def test_coalesced_responses_bitwise_equal_solo(self):
+        instances = make_instances(12, size=10)
+        config = ServeConfig(workers=4, coalesce_window_s=0.05, coalesce_max_batch=16)
+        with ServerHandle(config) as handle:
+            client = handle.client(timeout_s=30)
+            solo = {}
+            for inst in instances:
+                status, payload = client.solve(
+                    instance=inst, include_values=True, coalesce=False
+                )
+                assert status == 200 and not payload["coalesced"]
+                solo[payload["digest"]] = payload["result"]
+
+            doc_requests = [
+                (
+                    "solve",
+                    {
+                        "instance": json.loads(instance_to_json(inst)),
+                        "include_values": True,
+                    },
+                )
+                for inst in instances
+            ]
+            outcomes = chaos_barrage(client, doc_requests, concurrency=12)
+            statuses = [classify_response(o) for o in outcomes]
+            assert statuses == ["ok"] * 12
+            coalesced_flags = []
+            for status, payload in outcomes:
+                assert status == 200
+                # Bitwise equality: coalescing must be invisible in the result.
+                assert payload["result"] == solo[payload["digest"]]
+                coalesced_flags.append(payload["coalesced"])
+            assert any(coalesced_flags), "no request coalesced despite the window"
+
+            status, metrics = client.metrics()
+            assert metrics["counters"].get("serve.coalesced_batches", 0) >= 1
+            assert metrics["counters"].get("serve.coalesced_requests", 0) >= 2
+
+    def test_solo_matches_direct_solver_bitwise(self):
+        (inst,) = make_instances(1, size=12)
+        direct = LocalMaxMinSolver(R=3, backend="vectorized").solve(inst)
+        with ServerHandle(ServeConfig(workers=2)) as handle:
+            client = handle.client(timeout_s=20)
+            status, payload = client.solve(instance=inst, include_values=True)
+            assert status == 200
+            assert payload["result"]["utility"] == direct.utility()
+            assert payload["result"]["values"] == {
+                k: float(v) for k, v in direct.solution.as_dict().items()
+            }
+
+
+class TestDegradationLadder:
+    def test_transient_on_vectorized_degrades_to_reference(self):
+        (inst,) = make_instances(1)
+        plan = FaultPlan(
+            seed=7,
+            job_faults=(
+                transient(algorithm="local", params=(("backend", "vectorized"),)),
+            ),
+        )
+        with ServerHandle(ServeConfig(workers=2, faults=plan)) as handle:
+            client = handle.client(timeout_s=20)
+            status, payload = client.solve(instance=inst)
+            assert status == 200 and payload["degraded"]
+            assert payload["backend"] == "reference"
+            assert "FaultInjectionError" in payload["degraded_reason"]
+            assert payload["result"]["feasible"]
+
+    def test_hang_degrades_to_safe_within_deadline(self):
+        (inst,) = make_instances(1)
+        plan = FaultPlan(
+            seed=7, job_faults=(hang(2.0, algorithm="local", attempts=None),)
+        )
+        config = ServeConfig(
+            workers=2,
+            faults=plan,
+            coalesce_window_s=0,
+            default_deadline_s=0.4,
+            safe_grace_s=3.0,
+        )
+        with ServerHandle(config) as handle:
+            client = handle.client(timeout_s=20)
+            started = time.monotonic()
+            status, payload = client.solve(instance=inst)
+            elapsed = time.monotonic() - started
+            assert status == 200 and payload["degraded"]
+            assert payload["algorithm"].startswith("safe")
+            assert payload["result"]["feasible"]
+            assert "timeout" in payload["degraded_reason"]
+            assert elapsed < 10.0  # bounded by deadline + grace, not by the hang
+
+    def test_deadline_exceeded_without_degradation(self):
+        (inst,) = make_instances(1)
+        plan = FaultPlan(
+            seed=7, job_faults=(hang(2.0, algorithm="local", attempts=None),)
+        )
+        config = ServeConfig(
+            workers=2, faults=plan, coalesce_window_s=0, default_deadline_s=0.3
+        )
+        with ServerHandle(config) as handle:
+            client = handle.client(timeout_s=20)
+            status, payload = client.solve(instance=inst, degrade=False)
+            assert status == 504
+            assert payload["error"]["code"] == "deadline_exceeded"
+            status, metrics = client.metrics()
+            assert metrics["counters"]["serve.deadline_exceeded"] == 1
+
+    def test_breaker_opens_after_consecutive_failures(self):
+        (inst,) = make_instances(1)
+        plan = FaultPlan(
+            seed=7,
+            job_faults=(
+                transient(
+                    algorithm="local",
+                    params=(("backend", "vectorized"),),
+                    attempts=None,  # poison: every vectorized attempt fails
+                ),
+            ),
+        )
+        config = ServeConfig(
+            workers=1,
+            faults=plan,
+            coalesce_window_s=0,
+            breaker_failure_threshold=2,
+            breaker_cooldown_s=60.0,
+        )
+        with ServerHandle(config) as handle:
+            client = handle.client(timeout_s=20)
+            for _ in range(3):
+                status, payload = client.solve(instance=inst)
+                assert status == 200 and payload["degraded"]
+            status, metrics = client.metrics()
+            assert metrics["breakers"]["vectorized"]["state"] == "open"
+            assert metrics["breakers"]["vectorized"]["opens"] >= 1
+            # With the breaker open the ladder skips the rung outright.
+            status, payload = client.solve(instance=inst)
+            assert status == 200 and payload["degraded"]
+            assert "breaker_open:vectorized" in payload["degraded_reason"]
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_with_structured_error(self):
+        (inst,) = make_instances(1)
+        plan = FaultPlan(
+            seed=7, job_faults=(hang(0.5, algorithm="local", attempts=None),)
+        )
+        config = ServeConfig(
+            workers=1,
+            max_pending=2,
+            faults=plan,
+            coalesce_window_s=0,
+            default_deadline_s=0.6,
+            safe_grace_s=1.0,
+        )
+        with ServerHandle(config) as handle:
+            client = handle.client(timeout_s=30)
+            # Make the instance resident first so shed requests are cheap.
+            status, payload = client.solve(instance=inst)
+            assert status == 200
+            digest = payload["digest"]
+            requests = [("solve", {"digest": digest}) for _ in range(10)]
+            outcomes = chaos_barrage(client, requests, concurrency=10)
+            labels = collections.Counter(classify_response(o) for o in outcomes)
+            assert labels.get("transport_error", 0) == 0
+            assert labels.get("overloaded", 0) >= 1, labels
+            assert set(labels) <= {"ok", "degraded", "overloaded", "deadline_exceeded"}
+            status, metrics = client.metrics()
+            assert metrics["counters"]["serve.shed"] >= 1
+            assert client.healthz()[1]["ok"]
+
+
+class TestChaosBarrage:
+    """The acceptance criterion: >= 64 concurrent requests under faults."""
+
+    def test_barrage_under_faults_every_client_gets_a_response(self):
+        instances = make_instances(8, size=8)
+        plan = FaultPlan(
+            seed=11,
+            job_faults=(
+                transient(algorithm="local", params=(("backend", "vectorized"),)),
+                hang(0.2, algorithm="local", attempts=(1,)),
+            ),
+        )
+        config = ServeConfig(
+            workers=4,
+            max_pending=96,
+            faults=plan,
+            coalesce_window_s=0.005,
+            default_deadline_s=8.0,
+            safe_grace_s=2.0,
+        )
+        with ServerHandle(config) as handle:
+            client = handle.client(timeout_s=60)
+            docs = [json.loads(instance_to_json(inst)) for inst in instances]
+            digests = []
+            for doc in docs[:2]:
+                status, payload = client.op("info", {"instance": doc})
+                assert status == 200
+                digests.append(payload["digest"])
+
+            requests = []
+            for i in range(64):
+                doc = docs[i % len(docs)]
+                kind = i % 4
+                if kind == 0:
+                    requests.append(("solve", {"instance": doc}))
+                elif kind == 1:
+                    requests.append(("solve", {"instance": doc, "deadline_s": 0.75}))
+                elif kind == 2:
+                    requests.append(("ratio", {"instance": doc}))
+                else:
+                    requests.append(("info", {"digest": digests[i % 2]}))
+
+            started = time.monotonic()
+            outcomes = chaos_barrage(client, requests, concurrency=64)
+            elapsed = time.monotonic() - started
+            assert len(outcomes) == 64
+            labels = collections.Counter(classify_response(o) for o in outcomes)
+            # The contract: no hangs, no transport errors — every request is
+            # answered exactly, degraded, or with a structured error.
+            assert labels.get("transport_error", 0) == 0, labels
+            assert set(labels) <= {
+                "ok",
+                "degraded",
+                "overloaded",
+                "deadline_exceeded",
+            }, labels
+            assert labels.get("degraded", 0) >= 1, labels  # the faults really fired
+            assert elapsed < 60.0
+
+            status, health = client.healthz()
+            assert status == 200 and health["ok"]
+            status, metrics = client.metrics()
+            assert metrics["counters"]["serve.requests"] >= 66
+            assert metrics["counters"]["serve.admitted"] >= 1
+            assert client.readyz()[0] == 200
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+
+
+class TestServeCLI:
+    def test_serve_config_from_args(self):
+        from repro.cli import _serve_config_from_args, build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--port",
+                "0",
+                "--workers",
+                "3",
+                "--max-pending",
+                "17",
+                "--deadline-s",
+                "5.5",
+                "--coalesce-window-ms",
+                "4",
+                "--registry-capacity",
+                "9",
+            ]
+        )
+        config = _serve_config_from_args(args)
+        assert config.port == 0 and config.workers == 3
+        assert config.max_pending == 17
+        assert config.default_deadline_s == 5.5
+        assert config.coalesce_window_s == pytest.approx(0.004)
+        assert config.registry_capacity == 9
+
+    def test_serve_rejects_bad_flags(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "--workers" in err
+
+    def test_serve_preload_missing_file_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--port", "0", "--preload", "/nope/missing.json"]) == 2
+        assert "instance file not found" in capsys.readouterr().err
