@@ -1,0 +1,141 @@
+"""Distributed chaos smoke: fault containment across every instance family.
+
+The CI guard for the resilient distributed runtime.  For each instance
+family (random, special-form, cycle, torus, sensor, objective ring —
+non-special-form families go through ``to_special_form`` first) the script
+runs the §5 protocol on the resilient runtime under two seeded fault plans:
+
+* **under budget** — a transient smoothing-phase loss burst the retransmit
+  budget can absorb.  The run must be *bitwise-identical* to the fault-free
+  baseline, every agent certified exact, and ``runtime.retransmits`` must
+  actually fire (a harness that silently stops injecting is itself a bug).
+* **over budget** — a persistent link failure plus a crashed agent.  The
+  solution must stay feasible, degradation must be *contained*: every agent
+  outside the certificate's ``(2r+1)``-hop ball keeps the exact fault-free
+  output bitwise-unchanged, the crashed agent is certified failed at 0.0,
+  and the ``runtime.lost_messages`` / ``runtime.crashed_agents`` /
+  ``runtime.degraded_agents`` health counters are all nonzero.
+
+Exits 1 on the first containment violation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/dist_chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import numpy as np
+
+from repro import obs
+from repro.distributed import AGENT_EXACT, AGENT_FAILED, ResilientLocalSolver
+from repro.faults import AgentFault, FaultPlan, MessageFault
+from repro.generators import (
+    cycle_instance,
+    objective_ring_instance,
+    random_instance,
+    random_special_form_instance,
+    sensor_network_instance,
+    torus_instance,
+)
+from repro.transforms import to_special_form
+
+
+def _families():
+    yield "random", to_special_form(random_instance(num_agents=24, seed=3)).transformed
+    yield "special-form", random_special_form_instance(30, delta_K=3, seed=1)
+    yield "cycle", cycle_instance(40, seed=0)
+    yield "torus", to_special_form(torus_instance(5, 4, seed=0)).transformed
+    sensors = sensor_network_instance(18, 7, seed=2)
+    yield "sensor", to_special_form(sensors.instance).transformed
+    yield "ring", objective_ring_instance(12, 3)
+
+
+def main() -> int:
+    failures = []
+    schedule = ResilientLocalSolver(R=3).schedule
+    smooth_round = schedule.view_end + 2  # a min-flood round: loss-tolerant
+    obs.configure(enabled=True)
+
+    for family, instance in _families():
+        baseline, _ = ResilientLocalSolver(R=3).solve(instance)
+        base_values = baseline.value_array()
+        if not baseline.degradation.clean:
+            failures.append(f"{family}: fault-free run produced a dirty certificate")
+            continue
+
+        # --- under budget: transient loss, fully recovered -------------
+        under = FaultPlan(
+            seed=13,
+            message_faults=(
+                MessageFault(round_number=smooth_round, fraction=0.2),
+            ),
+        )
+        mark = obs.counters_mark()
+        solution, result = ResilientLocalSolver(
+            R=3, faults=under, retransmit_budget=2
+        ).solve(instance)
+        counters = obs.counters_since(mark)
+        cert = solution.degradation
+        if not np.array_equal(solution.value_array(), base_values):
+            failures.append(f"{family}: under-budget run is not bitwise-identical")
+        if cert.counts()["exact"] != instance.num_agents:
+            failures.append(f"{family}: under-budget run degraded agents: {cert.counts()}")
+        if counters.get("runtime.retransmits", 0) <= 0:
+            failures.append(f"{family}: runtime.retransmits did not fire under budget")
+        if cert.lost_messages != 0:
+            failures.append(f"{family}: under-budget run lost {cert.lost_messages} messages")
+
+        # --- over budget: persistent link + crash, contained -----------
+        over = FaultPlan(
+            seed=13,
+            message_faults=(
+                MessageFault(round_number=smooth_round, slots=(1,), attempts=None),
+            ),
+            agent_faults=(
+                AgentFault(kind="crash", round_number=2, agents=(0,)),
+            ),
+        )
+        mark = obs.counters_mark()
+        solution, result = ResilientLocalSolver(
+            R=3, faults=over, retransmit_budget=1
+        ).solve(instance)
+        counters = obs.counters_since(mark)
+        cert = solution.degradation
+        values = solution.value_array()
+        report = solution.check_feasibility()
+        outside = np.setdiff1d(np.arange(instance.num_agents), cert.ball)
+
+        if not report.feasible:
+            failures.append(f"{family}: over-budget solution infeasible: {report}")
+        if cert.statuses[0] != AGENT_FAILED or values[0] != 0.0:
+            failures.append(f"{family}: crashed agent 0 not certified failed at 0.0")
+        if not (cert.statuses[outside] == AGENT_EXACT).all():
+            failures.append(f"{family}: degradation leaked outside the fault ball")
+        if not np.array_equal(values[outside], base_values[outside]):
+            failures.append(f"{family}: outside-ball agents drifted from the exact run")
+        for name in ("runtime.lost_messages", "runtime.crashed_agents", "runtime.degraded_agents"):
+            if counters.get(name, 0) <= 0:
+                failures.append(f"{family}: health counter {name} did not fire")
+
+        print(
+            f"{family:13s} n={instance.num_agents:3d} "
+            f"ball={len(cert.ball):3d} outside={len(outside):3d} "
+            f"{json.dumps(cert.counts())} "
+            f"retransmits={cert.retransmits} lost={cert.lost_messages}"
+        )
+
+    obs.configure(enabled=False)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("dist chaos smoke OK: loss under budget invisible, faults contained to the ball")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,6 +56,7 @@ __all__ = [
     "g_recursion_kernel",
     "g_recursion_confined",
     "output_kernel",
+    "safe_fallback_confined",
 ]
 
 #: Level kinds of the batched tree layout (see :class:`TreeLevel`).
@@ -613,6 +614,38 @@ def agent_hop_balls(
             visited[frontier] = True
             hop += 1
         out.append(np.flatnonzero(visited))
+    return out
+
+
+def safe_fallback_confined(comp: CompiledInstance, positions: np.ndarray) -> np.ndarray:
+    """Plain §1.3 safe shares for the given agent rows only.
+
+    ``x_v = min_{i ∈ I_v} 1 / (|V_i| · a_iv)``, evaluated over just the
+    requested rows — the degradation fallback of the resilient runtime,
+    sized to the fault ball rather than the instance.  The per-edge terms
+    are the exact floats the safe protocol computes, so a ball agent's
+    fallback value bitwise-matches what a full safe run would give it.
+    Unconstrained rows come back ``+inf`` (the caller decides what a free
+    variable degrades to).
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    obs.count("kernels.confined_safe_rows", len(positions))
+    out = np.full(len(positions), np.inf)
+    if len(positions) == 0:
+        return out
+    deg = np.diff(comp.con_indptr)[positions]
+    has = deg > 0
+    if not has.any():
+        return out
+    adeg = deg[has]
+    flat = _segment_gather(comp.con_indptr[positions[has]], adeg)
+    terms = 1.0 / (
+        comp.constraint_degrees[comp.con_indices[flat]].astype(np.float64)
+        * comp.con_coeff[flat]
+    )
+    seg = np.zeros(len(adeg), dtype=np.int64)
+    np.cumsum(adeg[:-1], out=seg[1:])
+    out[has] = np.minimum.reduceat(terms, seg)
     return out
 
 

@@ -144,6 +144,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="safe-baseline backend (CSR segment-min vs per-node dicts)",
     )
     solve.add_argument("--with-optimum", action="store_true", help="also solve the exact LP")
+    solve.add_argument(
+        "--dist",
+        action="store_true",
+        help="run the §5 protocol on the fault-tolerant distributed runtime "
+        "(special-form instances only) and print the degradation certificate",
+    )
+    solve.add_argument(
+        "--retransmit-budget",
+        type=int,
+        default=2,
+        dest="retransmit_budget",
+        help="per-round retransmissions before a dropped message counts as lost",
+    )
+    solve.add_argument(
+        "--drop-fraction",
+        type=float,
+        default=0.0,
+        dest="drop_fraction",
+        help="inject link loss: fraction of slots dropped in --drop-round",
+    )
+    solve.add_argument(
+        "--drop-round",
+        type=int,
+        default=3,
+        dest="drop_round",
+        help="round the injected link loss hits (1-based)",
+    )
+    solve.add_argument(
+        "--persistent-loss",
+        action="store_true",
+        dest="persistent_loss",
+        help="injected loss hits every retransmission attempt (failed links, "
+        "not a transient glitch)",
+    )
+    solve.add_argument(
+        "--crash-agent",
+        type=int,
+        action="append",
+        default=[],
+        dest="crash_agents",
+        metavar="POS",
+        help="crash the agent at this canonical position (repeatable)",
+    )
+    solve.add_argument(
+        "--crash-round",
+        type=int,
+        default=1,
+        dest="crash_round",
+        help="round the injected crashes hit (1-based)",
+    )
+    solve.add_argument(
+        "--faults-seed",
+        type=int,
+        default=0,
+        dest="faults_seed",
+        help="seed of the injected fault plan",
+    )
     _add_obs_flags(solve)
 
     compare = sub.add_parser("compare", help="compare R values and baselines on an instance")
@@ -442,8 +499,80 @@ def _sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _solve_dist(args: argparse.Namespace, instance: MaxMinInstance) -> int:
+    from .distributed import ResilientLocalSolver
+    from .faults import AgentFault, FaultPlan, MessageFault
+
+    if not instance.is_special_form():
+        raise _CliError(
+            "--dist runs the actual message-passing protocol, which needs a "
+            "special-form instance; transform first (or use plain solve, "
+            "which applies the §4 transformations internally)"
+        )
+    message_faults = ()
+    if args.drop_fraction > 0.0:
+        message_faults = (
+            MessageFault(
+                round_number=args.drop_round,
+                fraction=args.drop_fraction,
+                attempts=None if args.persistent_loss else (0,),
+            ),
+        )
+    agent_faults = ()
+    if args.crash_agents:
+        bad = [p for p in args.crash_agents if not 0 <= p < instance.num_agents]
+        if bad:
+            raise _CliError(
+                f"--crash-agent positions {bad} out of range "
+                f"[0, {instance.num_agents})"
+            )
+        agent_faults = (
+            AgentFault(
+                kind="crash",
+                round_number=args.crash_round,
+                agents=tuple(args.crash_agents),
+            ),
+        )
+    plan = None
+    if message_faults or agent_faults:
+        plan = FaultPlan(
+            seed=args.faults_seed,
+            message_faults=message_faults,
+            agent_faults=agent_faults,
+        )
+    solver = ResilientLocalSolver(
+        R=args.R, retransmit_budget=args.retransmit_budget, faults=plan
+    )
+    solution, result = solver.solve(instance)
+    cert = solution.degradation
+    counts = cert.counts()
+    rows = [
+        {
+            "algorithm": solution.label,
+            "utility": solution.utility(),
+            "feasible": solution.is_feasible(),
+            "rounds": result.rounds,
+            "messages": result.total_messages,
+            "exact": counts["exact"],
+            "safe": counts["safe"],
+            "failed": counts["failed"],
+        }
+    ]
+    print(format_table(rows, title=f"{instance.name} (n={instance.num_agents}, distributed)"))
+    print(cert.summary())
+    for event in cert.events:
+        suffix = f" [{event.detail}]" if event.detail else ""
+        print(f"  round {event.round_number}: {event.kind} {event.subject}{suffix}")
+    if args.output:
+        save_solution(solution, args.output)
+        print(f"solution written to {args.output}")
+    return 0
+
+
 def _solve(args: argparse.Namespace) -> int:
     instance = _load_instance_friendly(args.input)
+    if args.dist:
+        return _solve_dist(args, instance)
     solver = LocalMaxMinSolver(
         R=args.R, backend=args.backend, transform_backend=args.transform_backend
     )

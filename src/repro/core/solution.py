@@ -109,9 +109,13 @@ class Solution:
         value for each agent (e.g. the distributed protocol solvers) pass
         this so a silently broken run cannot masquerade as a feasible
         all-zero solution.
+
+    A solution produced by a faulty distributed run additionally carries a
+    :class:`~repro.distributed.resilient.DegradationCertificate` on
+    ``degradation`` (``None`` on every clean path).
     """
 
-    __slots__ = ("instance", "_values", "label", "_dense", "_loads", "_objvals")
+    __slots__ = ("instance", "_values", "label", "_dense", "_loads", "_objvals", "degradation")
 
     def __init__(
         self,
@@ -126,6 +130,7 @@ class Solution:
         self._dense = None
         self._loads = None
         self._objvals = None
+        self.degradation = None
         vals: Dict[NodeId, float] = {v: float(x) for v, x in values.items()}
         if vals and not instance.agent_set.issuperset(vals):
             unknown = next(v for v in vals if not instance.has_agent(v))
@@ -170,6 +175,7 @@ class Solution:
         solution._dense = dense
         solution._loads = None
         solution._objvals = None
+        solution.degradation = None
         return solution
 
     # ------------------------------------------------------------------

@@ -32,6 +32,17 @@ from .message import Message, message_size_bytes
 from .network import CommunicationNetwork, build_network
 from .node import LocalInput, ProtocolNode
 from .port_numbering import PortNumbering
+from .resilient import (
+    AGENT_EXACT,
+    AGENT_FAILED,
+    AGENT_SAFE,
+    DegradationCertificate,
+    FaultEvent,
+    ResilientLocalSolver,
+    ResilientRunResult,
+    ResilientRuntime,
+    ResilientSafeSolver,
+)
 from .runtime import RoundStatistics, RunResult, SynchronousRuntime, require_agent_outputs
 from .safe_agents import DistributedSafeSolver, SAFE_ALGORITHM_ROUNDS, VectorizedSafeProtocol
 
@@ -62,6 +73,15 @@ __all__ = [
     "DistributedLocalSolver",
     "DistributedSafeSolver",
     "SAFE_ALGORITHM_ROUNDS",
+    "AGENT_EXACT",
+    "AGENT_SAFE",
+    "AGENT_FAILED",
+    "FaultEvent",
+    "DegradationCertificate",
+    "ResilientRunResult",
+    "ResilientRuntime",
+    "ResilientLocalSolver",
+    "ResilientSafeSolver",
     "ChangeImpact",
     "DynamicNetwork",
     "TickResult",

@@ -175,7 +175,11 @@ class MaxMinAgentNode(ProtocolNode, _ViewFloodingMixin):
             d = offset // 4
             message = inbox.get(self._objective_port())
             if message is None or message.phase != "g-obj-sum":
-                raise SimulationError(f"agent expected a sibling sum in round {round_number}")
+                raise SimulationError(
+                    f"agent {self.graph_node[1]!r} expected a sibling sum on "
+                    f"port {self._objective_port()} in round {round_number} "
+                    "(message dropped or objective relay failed)"
+                )
             sibling_sum = message.payload
             assert self.s_v is not None
             self.g_minus[d] = max(0.0, self.s_v - sibling_sum)
@@ -196,7 +200,11 @@ class MaxMinAgentNode(ProtocolNode, _ViewFloodingMixin):
             for port in self.local_input.constraint_ports():
                 message = inbox.get(port)
                 if message is None or message.phase != "g-con-fwd":
-                    raise SimulationError(f"agent expected a partner value in round {round_number}")
+                    raise SimulationError(
+                        f"agent {self.graph_node[1]!r} expected a partner value "
+                        f"on port {port} in round {round_number} "
+                        "(message dropped or constraint relay failed)"
+                    )
                 a_iv = self.local_input.port_coefficients[port]
                 candidate = (1.0 - message.payload) / a_iv
                 if candidate < best:
@@ -272,9 +280,11 @@ class MaxMinObjectiveNode(ProtocolNode, _ViewFloodingMixin):
         g_messages = {port: m for port, m in inbox.items() if m.phase == "g-obj"}
         if g_messages:
             if len(g_messages) != self.degree:
+                missing = [p for p in range(1, self.degree + 1) if p not in g_messages]
                 raise SimulationError(
-                    f"objective relay expected g values on all {self.degree} ports, "
-                    f"got {len(g_messages)}"
+                    f"objective relay {self.graph_node[1]!r} expected g values on "
+                    f"all {self.degree} ports, got {len(g_messages)} "
+                    f"(missing ports {missing[:5]})"
                 )
             total = sum(m.payload for m in g_messages.values())
             return {
@@ -308,6 +318,7 @@ class VectorizedMaxMinProtocol(VectorizedProtocol):
         comp = plane.comp
         n, m, K = comp.num_agents, comp.num_constraints, comp.num_objectives
         r = self.schedule.r
+        self._plane = plane
         # Slot/entry owners for broadcast scatters.
         self._agent_slot_owner = np.repeat(
             np.arange(n, dtype=np.int64), np.diff(plane.agent_indptr)
@@ -331,8 +342,17 @@ class VectorizedMaxMinProtocol(VectorizedProtocol):
 
     # -- helpers -------------------------------------------------------
     def _expect(self, inbox_mask: np.ndarray, slots: np.ndarray, what: str, rn: int) -> None:
-        if not inbox_mask[slots].all():
-            raise SimulationError(f"agent expected {what} in round {rn}")
+        ok = inbox_mask[slots]
+        if not ok.all():
+            plane = self._plane
+            missing = np.asarray(slots)[~ok]
+            links = "; ".join(
+                plane.describe_slot(int(plane.reverse[s])) for s in missing[:5]
+            )
+            raise SimulationError(
+                f"round {rn}: expected {what} but {len(missing)} message(s) "
+                f"never arrived (missing: {links})"
+            )
 
     def _smooth_update(
         self, inbox_mask: np.ndarray, inbox_values: np.ndarray, plane: MessagePlane

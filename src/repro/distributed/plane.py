@@ -178,6 +178,38 @@ class MessagePlane:
         )
 
     # ------------------------------------------------------------------
+    # slot introspection (fault diagnostics)
+    # ------------------------------------------------------------------
+    def slot_owner(self, slot: int) -> Tuple[str, object, int]:
+        """``(kind, node_id, port)`` of the node that *sends* on ``slot``.
+
+        The inverse of the slot layout: agent slots are looked up through
+        :attr:`agent_indptr`, relay slots through the mirrored
+        ``cagents``/``oagents`` CSRs.  ``port`` is the node's 1-based local
+        port, i.e. exactly the key the dict-based oracle would use — so a
+        fault report names the same coordinates on both execution paths.
+        """
+        comp = self.comp
+        if not 0 <= slot < self.num_slots:
+            raise ValueError(f"slot {slot} out of range [0, {self.num_slots})")
+        if slot < self.con_base:
+            pos = int(np.searchsorted(self.agent_indptr, slot, side="right")) - 1
+            return "agent", comp.agents[pos], slot - int(self.agent_indptr[pos]) + 1
+        if slot < self.obj_base:
+            rel = slot - self.con_base
+            row = int(np.searchsorted(comp.cagents_indptr, rel, side="right")) - 1
+            return "constraint", comp.constraints[row], rel - int(comp.cagents_indptr[row]) + 1
+        rel = slot - self.obj_base
+        row = int(np.searchsorted(comp.oagents_indptr, rel, side="right")) - 1
+        return "objective", comp.objectives[row], rel - int(comp.oagents_indptr[row]) + 1
+
+    def describe_slot(self, slot: int) -> str:
+        """Human-readable ``sender port → receiver port`` line for ``slot``."""
+        kind, node, port = self.slot_owner(slot)
+        rkind, rnode, rport = self.slot_owner(int(self.reverse[slot]))
+        return f"{kind} {node!r} port {port} -> {rkind} {rnode!r} port {rport}"
+
+    # ------------------------------------------------------------------
     # dirty-region tracking
     # ------------------------------------------------------------------
     def dirty_region(self, agents: np.ndarray, radius: int) -> np.ndarray:

@@ -146,9 +146,13 @@ class SynchronousRuntime:
         available on the dict path (:meth:`run_vectorized` raises).
     faults:
         A :class:`~repro.faults.plan.FaultPlan` (or live injector) whose
-        message faults drop delivery slots on the vectorized path.  Dropped
-        messages count as *sent* — the sender paid for them — but never
-        arrive, modelling a failed link for robustness experiments.
+        message faults drop delivery slots on *both* execution paths: the
+        vectorized path filters the sent-slot array, the dict path maps each
+        ``(node, port)`` send to its plane slot so the same plan drops the
+        same messages on either backend (the chaos-equivalence contract of
+        ``tests/test_resilient.py``).  Dropped messages count as *sent* —
+        the sender paid for them — but never arrive, modelling a failed
+        link for robustness experiments.
     """
 
     def __init__(
@@ -208,14 +212,39 @@ class SynchronousRuntime:
         rounds:
             The local horizon ``D``: how many rounds to run.
         stop_when_silent:
-            Stop early if some round delivers no messages at all (useful for
-            protocols that finish before their declared horizon).
+            Stop early if some round sends no messages at all (useful for
+            protocols that finish before their declared horizon).  A round
+            that goes quiet because the *previous* round's messages were all
+            dropped by a fault does not count as convergence — the stop is
+            suppressed (``runtime.suppressed_quiet_stops``) so injected loss
+            cannot fake an early finish.
         """
         network = self.network
         if network is None:
             raise SimulationError("the dict-based run() needs a CommunicationNetwork")
         with obs.span("runtime.run", rounds=rounds):
             return self._run_dict(network, node_factory, rounds, stop_when_silent)
+
+    def _sender_slot(self, plane: MessagePlane, node_id: GraphNode, port: int) -> int:
+        """The plane slot a dict-path ``(node, port)`` send occupies.
+
+        This is the bridge that lets one :class:`MessageFault` (stated in
+        plane slots) hit both execution paths identically.
+        """
+        kind, nid = node_id
+        comp = plane.comp
+        if kind is NodeType.AGENT:
+            return int(plane.agent_indptr[comp.agent_index[nid]]) + port - 1
+        if kind is NodeType.CONSTRAINT:
+            return (
+                plane.con_base
+                + int(comp.cagents_indptr[comp.constraint_index[nid]])
+                + port
+                - 1
+            )
+        return (
+            plane.obj_base + int(comp.oagents_indptr[comp.objective_index[nid]]) + port - 1
+        )
 
     def _run_dict(
         self,
@@ -233,12 +262,19 @@ class SynchronousRuntime:
         total_messages = 0
         total_bytes = 0
         executed = 0
+        dropped_last_round = False
 
         for round_number in range(1, rounds + 1):
             executed = round_number
             next_inboxes: Dict[GraphNode, Dict[int, Message]] = {node: {} for node in nodes}
             round_messages = 0
             round_bytes = 0
+            round_dropped = 0
+            drop = (
+                self.faults.dropped_slots(round_number, self.plane.num_slots)
+                if self.faults is not None
+                else None
+            )
 
             for node_id, node in nodes.items():
                 outbox = node.compose(round_number, inboxes[node_id])
@@ -252,19 +288,32 @@ class SynchronousRuntime:
                         )
                     if not isinstance(message, Message):
                         message = Message(message)
-                    neighbour, remote_port = network.endpoint(node_id, port)
-                    next_inboxes[neighbour][remote_port] = message
                     round_messages += 1
                     if self.measure_bytes:
                         round_bytes += message_size_bytes(message)
+                    if drop and self._sender_slot(self.plane, node_id, port) in drop:
+                        # Sent (counted above) but the link ate it.
+                        round_dropped += 1
+                        continue
+                    neighbour, remote_port = network.endpoint(node_id, port)
+                    next_inboxes[neighbour][remote_port] = message
 
+            if round_dropped:
+                obs.count("faults.dropped_messages", round_dropped)
             inboxes = next_inboxes
             total_messages += round_messages
             total_bytes += round_bytes
             per_round.append(RoundStatistics(round_number, round_messages, round_bytes))
 
             if stop_when_silent and round_messages == 0:
-                break
+                # Silence after a lossy round is starvation, not convergence:
+                # the nodes never saw the previous round's messages, so their
+                # quiet says nothing about the protocol being done.
+                if dropped_last_round:
+                    obs.count("runtime.suppressed_quiet_stops")
+                else:
+                    break
+            dropped_last_round = round_dropped > 0
 
         # Give every node one final delivery so that messages sent in the last
         # round are visible to outputs (nodes may cache them in compose of a
@@ -328,6 +377,7 @@ class SynchronousRuntime:
         per_round: List[RoundStatistics] = []
         total_messages = 0
         executed = 0
+        dropped_last_round = False
 
         for round_number in range(1, rounds + 1):
             executed = round_number
@@ -354,6 +404,7 @@ class SynchronousRuntime:
                     "the protocol state is corrupt — refusing to deliver it"
                 )
 
+            round_dropped = 0
             if self.faults is not None:
                 drop = self.faults.dropped_slots(round_number, plane.num_slots)
                 if drop:
@@ -361,7 +412,8 @@ class SynchronousRuntime:
                     # withheld from delivery, as if the link failed.
                     drop_mask = np.isin(sent, np.fromiter(drop, dtype=np.int64))
                     if drop_mask.any():
-                        obs.count("faults.dropped_messages", int(drop_mask.sum()))
+                        round_dropped = int(drop_mask.sum())
+                        obs.count("faults.dropped_messages", round_dropped)
                         sent = sent[~drop_mask]
 
             inbox_mask, inbox_values = plane.empty_round()
@@ -373,7 +425,14 @@ class SynchronousRuntime:
             per_round.append(RoundStatistics(round_number, round_messages, 0))
 
             if stop_when_silent and round_messages == 0:
-                break
+                # Same starvation-vs-convergence distinction as the dict
+                # path: a quiet round right after a lossy one is not proof
+                # the protocol finished.
+                if dropped_last_round:
+                    obs.count("runtime.suppressed_quiet_stops")
+                else:
+                    break
+            dropped_last_round = round_dropped > 0
 
         values = protocol.outputs(plane)
         node_outputs: Dict[GraphNode, Any] = {}

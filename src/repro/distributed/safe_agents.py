@@ -74,7 +74,11 @@ class SafeAgentNode(ProtocolNode):
             for port in self.local_input.constraint_ports():
                 message = inbox.get(port)
                 if message is None or message.phase != "safe-degree":
-                    raise SimulationError("safe agent did not receive a constraint degree")
+                    raise SimulationError(
+                        f"safe agent {self.graph_node[1]!r} did not receive a "
+                        f"constraint degree on port {port} in round {round_number} "
+                        "(message dropped or constraint failed)"
+                    )
                 a_iv = self.local_input.port_coefficients[port]
                 best = min(best, 1.0 / (message.payload * a_iv))
             self._output = best
@@ -107,8 +111,16 @@ class VectorizedSafeProtocol(VectorizedProtocol):
             values[lo:hi] = np.repeat(degrees, degrees).astype(np.float64)
         elif round_number == 2:
             received = inbox_values[plane.agent_con_slots]
-            if not inbox_mask[plane.agent_con_slots].all():
-                raise SimulationError("safe agent did not receive a constraint degree")
+            got = inbox_mask[plane.agent_con_slots]
+            if not got.all():
+                missing = plane.agent_con_slots[~got]
+                links = "; ".join(
+                    plane.describe_slot(int(plane.reverse[s])) for s in missing[:5]
+                )
+                raise SimulationError(
+                    f"round {round_number}: {len(missing)} safe agent(s) did not "
+                    f"receive a constraint degree (missing: {links})"
+                )
             self._x = comp.agent_constraint_min(1.0 / (received * comp.con_coeff))
         return mask, values
 

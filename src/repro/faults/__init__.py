@@ -32,6 +32,7 @@ Typical use::
 
 from .injector import FaultInjector
 from .plan import (
+    AgentFault,
     CacheFault,
     FaultPlan,
     JobFault,
@@ -47,6 +48,7 @@ __all__ = [
     "JobFault",
     "CacheFault",
     "MessageFault",
+    "AgentFault",
     "crash",
     "hang",
     "transient",

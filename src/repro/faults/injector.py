@@ -119,15 +119,57 @@ class FaultInjector:
     # Message plane path
     # ------------------------------------------------------------------
 
-    def dropped_slots(self, round_number: int, num_slots: int) -> Optional[Set[int]]:
-        """The slot set to drop in this delivery round (``None`` = nothing)."""
+    def dropped_slots(
+        self, round_number: int, num_slots: int, attempt: int = 0
+    ) -> Optional[Set[int]]:
+        """The slot set to drop in this delivery round (``None`` = nothing).
+
+        ``attempt`` is the 0-based transmission attempt: 0 is the round's
+        original delivery (the only attempt the plain runtime performs),
+        higher values are the resilient runtime's retransmissions.  The
+        attempt-0 sample key is unchanged from before retransmits existed,
+        so a plan's original-delivery drop set is stable across runtimes.
+        A fault with a finite ``attempts`` tuple models a lossy *channel* —
+        each retry re-rolls an independent ``:retry{n}`` sample — while
+        ``attempts=None`` models failed *links*: the same sampled slots
+        drop on every attempt, so no retransmit budget can beat them.
+        """
         dropped: Set[int] = set()
         for fault in self.plan.message_faults:
-            if fault.round_number != round_number:
+            if fault.round_number != round_number or not fault.fires_on(attempt):
                 continue
             dropped.update(s for s in fault.slots if 0 <= s < num_slots)
             if fault.fraction > 0.0 and num_slots:
-                rng = random.Random(f"{self.plan.seed}:{round_number}:{num_slots}")
+                key = f"{self.plan.seed}:{round_number}:{num_slots}"
+                if attempt and fault.attempts is not None:
+                    key = f"{key}:retry{attempt}"
+                rng = random.Random(key)
                 k = min(num_slots, int(round(fault.fraction * num_slots)))
                 dropped.update(rng.sample(range(num_slots), k))
         return dropped or None
+
+    # ------------------------------------------------------------------
+    # Agent path
+    # ------------------------------------------------------------------
+
+    def agent_faults(self, round_number: int, num_agents: int) -> Dict[str, Set[int]]:
+        """Agent positions afflicted per kind in this round.
+
+        Returns ``{"crash": {...}, "silent": {...}, "babbling": {...}}``
+        with empty sets for quiet kinds.  Fraction-based targets are
+        sampled once per *fault rule* (keyed by the rule's index in the
+        plan, not the round), so a fault afflicts the same agents for its
+        whole active window — a crashed node does not resurrect and a
+        different one crash the next round.
+        """
+        states: Dict[str, Set[int]] = {"crash": set(), "silent": set(), "babbling": set()}
+        for index, fault in enumerate(self.plan.agent_faults):
+            if not fault.active_in(round_number):
+                continue
+            afflicted = states[fault.kind]
+            afflicted.update(a for a in fault.agents if 0 <= a < num_agents)
+            if fault.fraction > 0.0 and num_agents:
+                rng = random.Random(f"{self.plan.seed}:agent:{index}:{num_agents}")
+                k = min(num_agents, int(round(fault.fraction * num_agents)))
+                afflicted.update(rng.sample(range(num_agents), k))
+        return states

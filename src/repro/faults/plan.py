@@ -32,6 +32,7 @@ __all__ = [
     "JobFault",
     "CacheFault",
     "MessageFault",
+    "AgentFault",
     "FaultPlan",
     "crash",
     "hang",
@@ -135,17 +136,97 @@ class MessageFault:
     Dropped messages count as sent (the sender paid for them) but never
     arrive — the receiving protocol sees an empty slot, exactly as if the
     link had failed.
+
+    ``attempts`` mirrors :class:`JobFault`: which *transmission attempts* of
+    the round are lossy.  Attempt 0 is the round's original delivery; higher
+    attempts are the per-round retransmissions of the resilient runtime
+    (:class:`repro.distributed.resilient.ResilientRuntime`).  The default
+    ``(0,)`` models a transient glitch — the first retransmission gets
+    through — while ``attempts=None`` fires on every attempt and models a
+    persistently failed link that no retransmit budget can beat.  The
+    plain :class:`~repro.distributed.runtime.SynchronousRuntime` only ever
+    performs attempt 0.
     """
 
     round_number: int
     slots: Tuple[int, ...] = ()
     fraction: float = 0.0
+    attempts: Optional[Tuple[int, ...]] = (0,)
 
     def __post_init__(self) -> None:
         if self.round_number < 1:
             raise EngineError("message faults target 1-based round numbers")
         if not 0.0 <= self.fraction <= 1.0:
             raise EngineError("message-fault fraction must be in [0, 1]")
+        if self.attempts is not None and any(a < 0 for a in self.attempts):
+            raise EngineError("message-fault attempts are 0-based transmission attempts")
+
+    def fires_on(self, attempt: int) -> bool:
+        """Whether this fault drops messages on this transmission attempt."""
+        return self.attempts is None or attempt in self.attempts
+
+
+@dataclass(frozen=True)
+class AgentFault:
+    """Make protocol *agents* misbehave, deterministically.
+
+    Where :class:`MessageFault` models a bad link, an ``AgentFault`` models
+    a bad node.  Kinds:
+
+    ``"crash"``
+        The agent dies at the start of ``round_number`` and never speaks
+        again.  It produces no output — a resilient solver reports it as
+        ``failed``.
+    ``"silent"``
+        The agent stops sending for rounds ``round_number … until_round``
+        (inclusive; ``None`` = forever) but stays alive — its neighbours
+        experience the silence exactly like a crash, yet the agent itself
+        can still fall back to the safe baseline at the end.
+    ``"babbling"``
+        From ``round_number`` on, the agent's outgoing payloads are garbage
+        (modelled as non-finite values).  Receivers detect and discard them
+        — the runtime quarantines the babbler, which from then on behaves
+        like a crashed node and is reported as ``failed``.
+
+    ``agents`` lists agent *positions* (canonical agent order, the same
+    indexing as :attr:`CompiledInstance.agents`); ``fraction`` additionally
+    targets a deterministic sample of all agents, seeded by
+    ``(plan.seed, fault index)`` so the same plan always afflicts the same
+    agents, in every process, on every run.
+    """
+
+    kind: str
+    round_number: int = 1
+    agents: Tuple[int, ...] = ()
+    fraction: float = 0.0
+    until_round: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "silent", "babbling"):
+            raise EngineError(
+                f"unknown agent-fault kind {self.kind!r} "
+                "(expected 'crash', 'silent' or 'babbling')"
+            )
+        if self.round_number < 1:
+            raise EngineError("agent faults target 1-based round numbers")
+        if not 0.0 <= self.fraction <= 1.0:
+            raise EngineError("agent-fault fraction must be in [0, 1]")
+        if self.until_round is not None:
+            if self.kind != "silent":
+                raise EngineError(
+                    f"until_round is only meaningful for 'silent' faults "
+                    f"(got kind={self.kind!r}); it would be silently ignored"
+                )
+            if self.until_round < self.round_number:
+                raise EngineError("until_round must be >= round_number")
+
+    def active_in(self, round_number: int) -> bool:
+        """Whether the fault afflicts its agents in this round."""
+        if round_number < self.round_number:
+            return False
+        if self.kind == "silent" and self.until_round is not None:
+            return round_number <= self.until_round
+        return True
 
 
 @dataclass(frozen=True)
@@ -156,6 +237,7 @@ class FaultPlan:
     job_faults: Tuple[JobFault, ...] = ()
     cache_faults: Tuple[CacheFault, ...] = ()
     message_faults: Tuple[MessageFault, ...] = ()
+    agent_faults: Tuple[AgentFault, ...] = ()
 
     def injector(self, in_worker: bool = False) -> "FaultInjector":
         """A live injector evaluating this plan (see module docstring)."""
@@ -167,7 +249,8 @@ class FaultPlan:
         """One-line human-readable summary (for logs and smoke output)."""
         return (
             f"FaultPlan(seed={self.seed}, jobs={len(self.job_faults)}, "
-            f"cache={len(self.cache_faults)}, messages={len(self.message_faults)})"
+            f"cache={len(self.cache_faults)}, messages={len(self.message_faults)}, "
+            f"agents={len(self.agent_faults)})"
         )
 
 

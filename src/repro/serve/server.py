@@ -328,12 +328,22 @@ class AllocationServer:
             await self._in_executor(self.cache.stats) if self.cache is not None else None
         )
         resident, capacity, evictions = self.registry.snapshot()
+        # Distributed fault-tolerance counters (retransmits, losses, agent
+        # faults, degradation) accumulated by any resilient-runtime run in
+        # this process — zeros until one happens.
+        obs_counters = obs.counters_mark()
+        resilience = {
+            name: value
+            for name, value in sorted(obs_counters.items())
+            if name.startswith(("runtime.", "faults.", "resilient."))
+        }
         return {
             "ok": True,
             "uptime_s": round(time.monotonic() - (self._started_monotonic or time.monotonic()), 3),
             "draining": self._draining,
             "inflight": self._inflight,
             "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "resilience": resilience,
             "breakers": {name: b.snapshot() for name, b in self.breakers.items()},
             "registry": {
                 "resident": resident,
